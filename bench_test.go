@@ -1,0 +1,292 @@
+// Benchmarks: one testing.B target per experiment in DESIGN.md (E1–E12).
+// The benchmarks measure the wall-clock cost of each pipeline; the
+// corresponding correctness/shape tables are produced by cmd/experiments
+// and recorded in EXPERIMENTS.md.
+package bmatch
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/augment"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/coupling"
+	"repro/internal/exact"
+	"repro/internal/frac"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/rng"
+	"repro/internal/stream"
+	"repro/internal/weighted"
+)
+
+// BenchmarkSequential (E1): the idealized doubling process at tightness-
+// guaranteeing round counts.
+func BenchmarkSequential(b *testing.B) {
+	for _, d := range []int{16, 64} {
+		n := 2000
+		r := rng.New(1)
+		g := graph.Gnm(n, n*d/2, r.Split())
+		p := frac.BMatchingProblem(g, graph.UniformBudgets(n, 2))
+		T := frac.TightRounds(g.M())
+		b.Run(fmt.Sprintf("d=%d/T=%d", d, T), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.Sequential(T, nil, rng.New(int64(i)))
+			}
+		})
+	}
+}
+
+// BenchmarkFullMPC (E2): the complete O(log log d̄) driver on the
+// core+fringe workload where compression has real work to do.
+func BenchmarkFullMPC(b *testing.B) {
+	for _, coreDeg := range []int{64, 256} {
+		nc, nf := 800, 2400
+		r := rng.New(2)
+		g := graph.CoreFringe(nc, nc*coreDeg/2, nf, nf/2, r.Split())
+		p := frac.BMatchingProblem(g, graph.RandomBudgets(g.N, 1, 4, r.Split()))
+		b.Run(fmt.Sprintf("coreDeg=%d/m=%d", coreDeg, g.M()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.FullMPC(frac.PracticalParams(), rng.New(int64(i)))
+			}
+		})
+	}
+}
+
+// BenchmarkConstApprox (E3): the full Theorem 3.1 pipeline
+// (FullMPC + rounding + fill).
+func BenchmarkConstApprox(b *testing.B) {
+	for _, scale := range []struct{ n, m int }{{1000, 8000}, {2000, 32000}} {
+		r := rng.New(3)
+		g := graph.Gnm(scale.n, scale.m, r.Split())
+		bud := graph.RandomBudgets(scale.n, 1, 4, r.Split())
+		b.Run(fmt.Sprintf("n=%d/m=%d", scale.n, scale.m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ConstApprox(g, bud, frac.PracticalParams(), rng.New(int64(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOnePlusEpsUnweighted (E4): layered-graph augmentation to
+// (1+ε)-optimality.
+func BenchmarkOnePlusEpsUnweighted(b *testing.B) {
+	for _, eps := range []float64{0.5, 0.25} {
+		r := rng.New(4)
+		g := graph.Bipartite(100, 100, 1500, r.Split())
+		bud := graph.RandomBudgets(200, 1, 3, r.Split())
+		b.Run(fmt.Sprintf("eps=%.2f", eps), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := augment.OnePlusEps(g, bud, nil, augment.DefaultParams(eps), rng.New(int64(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOnePlusEpsWeighted (E5): the weighted pipeline with conflict
+// resolution.
+func BenchmarkOnePlusEpsWeighted(b *testing.B) {
+	for _, eps := range []float64{0.5, 0.25} {
+		r := rng.New(5)
+		g := graph.BipartiteWeighted(60, 60, 900, 1, 10, r.Split())
+		bud := graph.RandomBudgets(120, 1, 3, r.Split())
+		b.Run(fmt.Sprintf("eps=%.2f", eps), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := weighted.OnePlusEpsWeighted(g, bud, nil, weighted.DefaultParams(eps), rng.New(int64(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDegreeDrop (E6): a single compression step (OneRoundMPC), the
+// unit whose repetition gives the log log d̄ round count.
+func BenchmarkDegreeDrop(b *testing.B) {
+	r := rng.New(6)
+	g := graph.CoreFringe(800, 800*200, 2400, 1200, r.Split())
+	p := frac.BMatchingProblem(g, graph.RandomBudgets(g.N, 1, 3, r.Split()))
+	b.Run(fmt.Sprintf("m=%d", g.M()), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p.OneRoundMPC(frac.PracticalParams(), nil, rng.New(int64(i)))
+		}
+	})
+}
+
+// BenchmarkMachineLoad (E7): OneRoundMPC across densities — per-op time and
+// the reported per-machine load.
+func BenchmarkMachineLoad(b *testing.B) {
+	for _, m := range []int{16000, 64000} {
+		n := 1000
+		r := rng.New(7)
+		g := graph.Gnm(n, m, r.Split())
+		p := frac.BMatchingProblem(g, graph.UniformBudgets(n, 2))
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			maxLoad := 0
+			for i := 0; i < b.N; i++ {
+				res := p.OneRoundMPC(frac.PracticalParams(), nil, rng.New(int64(i)))
+				if res.MaxMachineEdges > maxLoad {
+					maxLoad = res.MaxMachineEdges
+				}
+			}
+			b.ReportMetric(float64(maxLoad)/float64(n), "load/n")
+		})
+	}
+}
+
+// BenchmarkStreaming (E8): one-pass greedy vs multi-pass (1+ε) streaming.
+func BenchmarkStreaming(b *testing.B) {
+	r := rng.New(8)
+	g := graph.Gnm(1000, 30000, r.Split())
+	bud := graph.RandomBudgets(1000, 1, 3, r.Split())
+	b.Run("greedy-1pass", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			stream.GreedyOnePass(stream.NewSliceStream(g), g.N, bud)
+		}
+	})
+	b.Run("multipass-eps0.5", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, err := stream.OnePlusEps(stream.NewSliceStream(g), g.N, bud,
+				stream.Params{Eps: 0.5, MaxSweeps: 4, RetriesPerK: 2, MaxRetries: 4}, rng.New(int64(i)))
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	gw := graph.GnmWeighted(1000, 30000, 1, 10, r.Split())
+	b.Run("multipass-weighted-eps0.5", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, err := stream.OnePlusEpsWeighted(stream.NewSliceStream(gw), gw.N, bud,
+				stream.Params{Eps: 0.5, MaxSweeps: 4, RetriesPerK: 2, MaxRetries: 4}, rng.New(int64(i)))
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkConflictResolution (E9): the paper's distributed scheme vs the
+// gather-everything baseline on a Σb ≫ n workload.
+func BenchmarkConflictResolution(b *testing.B) {
+	const leaves = 3000
+	g := graph.Star(leaves + 1)
+	bud := make(graph.Budgets, leaves+1)
+	bud[0] = leaves
+	for i := 1; i <= leaves; i++ {
+		bud[i] = 1
+	}
+	m := matching.MustNew(g, bud)
+	var cands []weighted.Candidate
+	var walks []matching.Walk
+	for e := 0; e < g.M(); e++ {
+		w := matching.Walk{EdgeIDs: []int32{int32(e)}, Start: int32(e + 1)}
+		walks = append(walks, w)
+		cands = append(cands, weighted.Candidate{Walk: w, Gain: 1})
+	}
+	b.Run("mpc-distributed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			weighted.ResolveWithinMPC(cands, m, 16)
+		}
+	})
+	b.Run("gather-baseline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			baseline.GatherConflictResolution(walks, m)
+		}
+	})
+}
+
+// BenchmarkInitAblation (E10): paper initialization vs the unclamped rule.
+func BenchmarkInitAblation(b *testing.B) {
+	r := rng.New(10)
+	g := graph.ChungLu(1500, 15000, 2.2, r.Split())
+	p := frac.BMatchingProblem(g, graph.UniformBudgets(g.N, 2))
+	for _, noClamp := range []bool{false, true} {
+		name := "paper-clamp"
+		if noClamp {
+			name = "ablated-dv"
+		}
+		b.Run(name, func(b *testing.B) {
+			params := frac.PracticalParams()
+			params.InitNoClamp = noClamp
+			for i := 0; i < b.N; i++ {
+				p.OneRoundMPC(params, nil, rng.New(int64(i)))
+			}
+		})
+	}
+}
+
+// BenchmarkThresholdAblation (E11): random vs fixed activity thresholds.
+func BenchmarkThresholdAblation(b *testing.B) {
+	r := rng.New(11)
+	g := graph.Gnm(1500, 36000, r.Split())
+	p := frac.BMatchingProblem(g, graph.UniformBudgets(g.N, 2))
+	b.Run("random-thresholds", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p.OneRoundMPC(frac.PracticalParams(), nil, rng.New(int64(i)))
+		}
+	})
+	b.Run("fixed-thresholds", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p.OneRoundMPC(frac.PracticalParams(), frac.FixedThresholds(p, 0.5), rng.New(int64(i)))
+		}
+	})
+}
+
+// BenchmarkCoupling (E12): lockstep coupled execution of the idealized and
+// approximate processes with full divergence instrumentation.
+func BenchmarkCoupling(b *testing.B) {
+	r := rng.New(14)
+	g := graph.CoreFringe(500, 500*60, 1000, 500, r.Split())
+	p := frac.BMatchingProblem(g, graph.RandomBudgets(g.N, 1, 3, r.Split()))
+	b.Run(fmt.Sprintf("m=%d/T=6", g.M()), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			coupling.Run(p, 8, 6, nil, rng.New(int64(i)))
+		}
+	})
+}
+
+// BenchmarkExactComparators: cost of the ground-truth solvers used by the
+// quality experiments.
+func BenchmarkExactComparators(b *testing.B) {
+	r := rng.New(12)
+	gb := graph.Bipartite(200, 200, 4000, r.Split())
+	budB := graph.RandomBudgets(400, 1, 4, r.Split())
+	b.Run("dinic-bipartite", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := exact.MaxBipartite(gb, budB); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	gw := graph.BipartiteWeighted(60, 60, 1200, 1, 10, r.Split())
+	budW := graph.RandomBudgets(120, 1, 3, r.Split())
+	b.Run("mcmf-bipartite", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := exact.MaxWeightBipartite(gw, budW); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkGreedyBaselines: the 2-approximation baselines.
+func BenchmarkGreedyBaselines(b *testing.B) {
+	r := rng.New(13)
+	g := graph.GnmWeighted(5000, 100000, 1, 10, r.Split())
+	bud := graph.RandomBudgets(5000, 1, 4, r.Split())
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			baseline.Greedy(g, bud)
+		}
+	})
+	b.Run("greedy-weighted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			baseline.GreedyWeighted(g, bud)
+		}
+	})
+}

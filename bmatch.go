@@ -1,0 +1,205 @@
+// Package bmatch is a Go implementation of "Massively Parallel Algorithms
+// for b-Matching" (Ghaffari, Grunau, Mitrović — SPAA 2022, arXiv
+// 2211.07796).
+//
+// A b-matching generalizes matching: each vertex v has a budget b_v and may
+// have up to b_v incident matched edges. This package provides
+//
+//   - Θ(1)-approximate unweighted b-matching computed by the paper's
+//     O(log log d̄)-round MPC algorithm, executed on a faithful MPC
+//     simulator with round/memory accounting (Theorem 3.1),
+//   - (1+ε)-approximate unweighted b-matching via random layered-graph
+//     augmentation (Theorem 4.1),
+//   - (1+ε)-approximate maximum weight b-matching via weighted layering
+//     with scalable conflict resolution (Theorem 5.1), and
+//   - semi-streaming variants using Õ(Σb_v) memory (Section 4.6).
+//
+// Quickstart:
+//
+//	g, _ := bmatch.NewGraph(4, []bmatch.Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}})
+//	b := bmatch.UniformBudgets(4, 2)
+//	m, err := bmatch.Approx(g, b, bmatch.Options{Seed: 1})
+//	// m.Size(), m.Weight(), m.Edges() ...
+//
+// All algorithms are deterministic given Options.Seed.
+package bmatch
+
+import (
+	"repro/internal/augment"
+	"repro/internal/core"
+	"repro/internal/frac"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/rng"
+	"repro/internal/stream"
+	"repro/internal/weighted"
+)
+
+// Edge is an undirected weighted edge; W is ignored by the unweighted
+// algorithms (use 1).
+type Edge = graph.Edge
+
+// Graph is an undirected graph on vertices 0..N-1.
+type Graph = graph.Graph
+
+// Budgets is the per-vertex budget vector b.
+type Budgets = graph.Budgets
+
+// BMatching is a set of edges respecting all vertex budgets.
+type BMatching = matching.BMatching
+
+// Walk is an alternating walk; Apply augments a matching with it.
+type Walk = matching.Walk
+
+// NewGraph builds a graph, validating edges (no self-loops, endpoints in
+// range, non-negative finite weights).
+func NewGraph(n int, edges []Edge) (*Graph, error) { return graph.New(n, edges) }
+
+// UniformBudgets returns b ≡ k.
+func UniformBudgets(n, k int) Budgets { return graph.UniformBudgets(n, k) }
+
+// Options configures the top-level entry points. The zero value is usable:
+// seed 0, ε = 0.25, practical MPC constants.
+type Options struct {
+	// Seed makes every run reproducible.
+	Seed int64
+	// Eps is the approximation slack for the (1+ε) algorithms.
+	Eps float64
+	// PaperConstants selects the paper's exact scalar constants (e.g.
+	// T = ⌊log₂N/1000⌋) instead of the practical defaults. See DESIGN.md.
+	PaperConstants bool
+}
+
+func (o Options) mpcParams() frac.MPCParams {
+	if o.PaperConstants {
+		return frac.PaperParams()
+	}
+	return frac.PracticalParams()
+}
+
+func (o Options) eps() float64 {
+	if o.Eps > 0 {
+		return o.Eps
+	}
+	return 0.25
+}
+
+// ApproxStats carries the MPC measurements of an Approx run.
+type ApproxStats struct {
+	// CompressionSteps is the number of FullMPC while-loop iterations —
+	// the paper's O(log log d̄) quantity.
+	CompressionSteps int
+	// MPCRounds is the total number of simulator communication rounds.
+	MPCRounds int
+	// MaxMachineEdges is the largest number of edges resident on a single
+	// machine (Lemma 3.28's Õ(n) observable).
+	MaxMachineEdges int
+	// FracValue and DualBound certify the approximation:
+	// |M| ≤ OPT ≤ DualBound.
+	FracValue float64
+	DualBound float64
+}
+
+// Approx computes a Θ(1)-approximate maximum-cardinality b-matching using
+// the paper's O(log log d̄)-round MPC algorithm (Theorem 3.1).
+func Approx(g *Graph, b Budgets, opts Options) (*BMatching, *ApproxStats, error) {
+	res, err := core.ConstApprox(g, b, opts.mpcParams(), rng.New(opts.Seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.M, &ApproxStats{
+		CompressionSteps: res.Frac.Iterations,
+		MPCRounds:        res.Frac.TotalSimRounds,
+		MaxMachineEdges:  res.Frac.MaxMachineEdges,
+		FracValue:        res.FracValue,
+		DualBound:        res.DualBound,
+	}, nil
+}
+
+// Max computes a (1+ε)-approximate maximum-cardinality b-matching
+// (Theorem 4.1).
+func Max(g *Graph, b Budgets, opts Options) (*BMatching, error) {
+	res, err := core.OnePlusEpsUnweighted(g, b, opts.eps(), opts.mpcParams(),
+		augment.DefaultParams(opts.eps()), rng.New(opts.Seed))
+	if err != nil {
+		return nil, err
+	}
+	return res.M, nil
+}
+
+// MaxWeight computes a (1+ε)-approximate maximum-weight b-matching
+// (Theorem 5.1).
+func MaxWeight(g *Graph, b Budgets, opts Options) (*BMatching, error) {
+	res, err := core.OnePlusEpsWeighted(g, b, opts.eps(),
+		weighted.DefaultParams(opts.eps()), rng.New(opts.Seed))
+	if err != nil {
+		return nil, err
+	}
+	return res.M, nil
+}
+
+// FractionalResult carries a fractional b-matching solution together with
+// its duality certificates.
+type FractionalResult struct {
+	// X is a feasible, 0.05-tight solution of the b-matching LP
+	// (x_e ∈ [0,1], Σ_{e∈E(v)} x_e ≤ b_v).
+	X []float64
+	// Value is Σx_e; by Lemma 3.3, Value ≥ OPT/60 and OPT ≤ DualBound.
+	Value     float64
+	DualBound float64
+	// CoverVertices and CoverSlackEdges form the O(1)-approximate weighted
+	// vertex cover recovered from the dual (the paper's GJN20 connection):
+	// every edge has an endpoint in CoverVertices or appears in
+	// CoverSlackEdges.
+	CoverVertices   []int32
+	CoverSlackEdges []int32
+	// CompressionSteps and MPCRounds are the simulator measurements.
+	CompressionSteps int
+	MPCRounds        int
+}
+
+// ApproxFractional solves the fractional b-matching LP with the
+// O(log log d̄)-round MPC algorithm (Algorithms 1–3) and returns the
+// solution with its dual certificates. This is the paper's core engine,
+// exposed for callers that want the LP value or the vertex-cover dual
+// rather than an integral matching.
+func ApproxFractional(g *Graph, b Budgets, opts Options) (*FractionalResult, error) {
+	if err := b.Validate(g); err != nil {
+		return nil, err
+	}
+	p := frac.BMatchingProblem(g, b)
+	full := p.FullMPC(opts.mpcParams(), rng.New(opts.Seed))
+	covV, covE := p.VertexCover(full.X, 0.05)
+	return &FractionalResult{
+		X:                full.X,
+		Value:            frac.Value(full.X),
+		DualBound:        p.DualBound(full.X, 0.05),
+		CoverVertices:    covV,
+		CoverSlackEdges:  covE,
+		CompressionSteps: full.Iterations,
+		MPCRounds:        full.TotalSimRounds,
+	}, nil
+}
+
+// StreamResult reports a semi-streaming computation: the matched edge ids,
+// the number of passes, and the peak retained memory in words.
+type StreamResult = stream.Result
+
+// EdgeStream is the streaming input interface; see NewSliceStream.
+type EdgeStream = stream.Stream
+
+// NewSliceStream adapts an in-memory graph to the streaming interface.
+func NewSliceStream(g *Graph) EdgeStream { return stream.NewSliceStream(g) }
+
+// StreamMax computes a (1+ε)-approximate maximum-cardinality b-matching in
+// the semi-streaming model, using Õ(Σb_v) memory and O(1/ε) passes per
+// sweep (Theorem 4.1, streaming part).
+func StreamMax(s EdgeStream, n int, b Budgets, opts Options) (*StreamResult, error) {
+	return stream.OnePlusEps(s, n, b, stream.Params{Eps: opts.eps()}, rng.New(opts.Seed))
+}
+
+// StreamMaxWeight is the weighted semi-streaming variant (Theorem 5.1,
+// streaming part).
+func StreamMaxWeight(s EdgeStream, n int, b Budgets, opts Options) (*StreamResult, error) {
+	return stream.OnePlusEpsWeighted(s, n, b, stream.Params{Eps: opts.eps()}, rng.New(opts.Seed))
+}

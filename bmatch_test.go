@@ -1,0 +1,201 @@
+package bmatch
+
+import (
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestApproxEndToEnd(t *testing.T) {
+	r := rng.New(1)
+	g := graph.Gnm(200, 3000, r.Split())
+	b := graph.RandomBudgets(200, 1, 4, r.Split())
+	m, stats, err := Approx(g, b, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.CompressionSteps < 1 {
+		t.Fatal("no compression steps recorded")
+	}
+	if stats.DualBound <= 0 {
+		t.Fatal("no dual certificate")
+	}
+	// Certified approximation: |M| ≤ OPT ≤ DualBound and the constant
+	// should be far better than the worst-case 60x of the proof chain.
+	if float64(m.Size()) < stats.DualBound/60 {
+		t.Fatalf("size %d below certified fraction of bound %v", m.Size(), stats.DualBound)
+	}
+}
+
+func TestApproxDeterministicInSeed(t *testing.T) {
+	g := graph.Gnm(100, 1000, rng.New(3))
+	b := graph.UniformBudgets(100, 2)
+	m1, _, err := Approx(g, b, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := Approx(g, b, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, c := m1.Edges(), m2.Edges()
+	if len(a) != len(c) {
+		t.Fatalf("sizes differ: %d vs %d", len(a), len(c))
+	}
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatal("edge sets differ across identical seeds")
+		}
+	}
+}
+
+func TestApproxPaperConstants(t *testing.T) {
+	g := graph.Gnm(100, 1500, rng.New(4))
+	b := graph.UniformBudgets(100, 2)
+	m, stats, err := Approx(g, b, Options{Seed: 1, PaperConstants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.CompressionSteps < 1 {
+		t.Fatal("paper-mode run recorded no iterations")
+	}
+}
+
+func TestMaxEndToEnd(t *testing.T) {
+	r := rng.New(8)
+	g := graph.Bipartite(15, 15, 100, r.Split())
+	b := graph.RandomBudgets(30, 1, 2, r.Split())
+	opt, err := exact.MaxBipartite(g, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Max(g, b, Options{Seed: 2, Eps: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if float64(m.Size()) < float64(opt)/1.25 {
+		t.Fatalf("Max: size %d vs optimum %d", m.Size(), opt)
+	}
+}
+
+func TestMaxWeightEndToEnd(t *testing.T) {
+	r := rng.New(9)
+	g := graph.BipartiteWeighted(12, 12, 80, 1, 10, r.Split())
+	b := graph.RandomBudgets(24, 1, 2, r.Split())
+	optW, err := exact.MaxWeightBipartite(g, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MaxWeight(g, b, Options{Seed: 3, Eps: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Weight() < optW/1.3 {
+		t.Fatalf("MaxWeight: %v vs optimum %v", m.Weight(), optW)
+	}
+}
+
+func TestStreamEndToEnd(t *testing.T) {
+	r := rng.New(10)
+	g := graph.Gnm(40, 250, r.Split())
+	b := graph.UniformBudgets(40, 2)
+	res, err := StreamMax(NewSliceStream(g), g.N, b, Options{Seed: 4, Eps: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size == 0 || res.Passes < 1 {
+		t.Fatalf("stream result degenerate: %+v", res)
+	}
+	if res.PeakWords >= int64(g.M())*3 {
+		t.Fatalf("streaming memory %d not sublinear in m", res.PeakWords)
+	}
+}
+
+func TestStreamWeightedEndToEnd(t *testing.T) {
+	r := rng.New(11)
+	g := graph.GnmWeighted(40, 250, 1, 5, r.Split())
+	b := graph.UniformBudgets(40, 2)
+	res, err := StreamMaxWeight(NewSliceStream(g), g.N, b, Options{Seed: 4, Eps: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight <= 0 {
+		t.Fatalf("stream weighted degenerate: %+v", res)
+	}
+}
+
+func TestNewGraphValidates(t *testing.T) {
+	if _, err := NewGraph(2, []Edge{{U: 0, V: 0, W: 1}}); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+}
+
+func TestApproxRejectsBadBudgets(t *testing.T) {
+	g := graph.Path(3)
+	if _, _, err := Approx(g, Budgets{1}, Options{}); err == nil {
+		t.Fatal("short budget vector accepted")
+	}
+}
+
+func TestApproxFractional(t *testing.T) {
+	r := rng.New(12)
+	g := graph.Gnm(150, 2500, r.Split())
+	b := graph.RandomBudgets(150, 1, 3, r.Split())
+	res, err := ApproxFractional(g, b, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value <= 0 || res.DualBound < res.Value-1e-9 {
+		t.Fatalf("certificates inverted: value=%v dual=%v", res.Value, res.DualBound)
+	}
+	// LP feasibility of the returned solution.
+	sums := make([]float64, g.N)
+	for e, x := range res.X {
+		if x < -1e-12 || x > 1+1e-9 {
+			t.Fatalf("x[%d] = %v out of [0,1]", e, x)
+		}
+		sums[g.Edges[e].U] += x
+		sums[g.Edges[e].V] += x
+	}
+	for v := range sums {
+		if sums[v] > float64(b[v])+1e-9 {
+			t.Fatalf("vertex %d sum %v > b %d", v, sums[v], b[v])
+		}
+	}
+	// The recovered dual must cover every edge.
+	in := make([]bool, g.N)
+	for _, v := range res.CoverVertices {
+		in[v] = true
+	}
+	slack := map[int32]bool{}
+	for _, e := range res.CoverSlackEdges {
+		slack[e] = true
+	}
+	for e := range g.Edges {
+		ed := g.Edges[e]
+		if !in[ed.U] && !in[ed.V] && !slack[int32(e)] {
+			t.Fatalf("edge %d not covered", e)
+		}
+	}
+}
+
+func TestApproxFractionalRejectsBadBudgets(t *testing.T) {
+	g := graph.Path(3)
+	if _, err := ApproxFractional(g, Budgets{1}, Options{}); err == nil {
+		t.Fatal("short budget vector accepted")
+	}
+}

@@ -1,0 +1,155 @@
+// Command bmatch runs any of the library's algorithms on a generated or
+// user-supplied graph and prints the outcome with its certificates.
+//
+// Usage examples:
+//
+//	bmatch -algo approx  -gen gnm -n 2000 -m 40000 -b 3
+//	bmatch -algo max     -gen bipartite -n 400 -m 3000 -eps 0.25
+//	bmatch -algo maxw    -gen clientserver -n 2000 -seed 7
+//	bmatch -algo stream  -gen gnm -n 1000 -m 100000 -b 2
+//	bmatch -algo greedy  -input edges.txt -b 2
+//
+// Input files (with -input) use the graphio format: "n <count>" then
+// "e <u> <v> [w]" and optional "b <v> <budget>" lines; a bare edge list
+// with an integer first line is also accepted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	bmatch "repro"
+	"repro/internal/baseline"
+	"repro/internal/graph"
+	"repro/internal/graphio"
+	"repro/internal/rng"
+)
+
+var (
+	algoFlag  = flag.String("algo", "approx", "approx | max | maxw | stream | streamw | greedy | greedyw")
+	genFlag   = flag.String("gen", "gnm", "gnm | bipartite | powerlaw | clientserver | star")
+	inputFlag = flag.String("input", "", "read the graph from a file instead of generating")
+	nFlag     = flag.Int("n", 1000, "vertices (generators)")
+	mFlag     = flag.Int("m", 10000, "edges (generators)")
+	bFlag     = flag.Int("b", 2, "uniform budget (0 = random in [1,4])")
+	epsFlag   = flag.Float64("eps", 0.25, "approximation slack for (1+eps) algorithms")
+	seedFlag  = flag.Int64("seed", 1, "random seed")
+	wFlag     = flag.Bool("weighted", false, "draw uniform weights in [1,10) (generators)")
+	paperFlag = flag.Bool("paper", false, "use the paper's exact constants (see DESIGN.md)")
+)
+
+func main() {
+	flag.Parse()
+	g, b, err := buildInstance()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bmatch:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("instance: n=%d m=%d d̄=%.1f Σb=%d\n", g.N, g.M(), g.AvgDeg(), b.Sum())
+
+	opts := bmatch.Options{Seed: *seedFlag, Eps: *epsFlag, PaperConstants: *paperFlag}
+	start := time.Now()
+	switch *algoFlag {
+	case "approx":
+		m, stats, err := bmatch.Approx(g, b, opts)
+		fail(err)
+		fmt.Printf("Θ(1)-approx: |M|=%d weight=%.1f\n", m.Size(), m.Weight())
+		fmt.Printf("certificate: OPT ≤ %.0f (ratio ≥ %.3f)\n", stats.DualBound, float64(m.Size())/stats.DualBound)
+		fmt.Printf("MPC: %d compression steps, %d rounds, max %d edges/machine\n",
+			stats.CompressionSteps, stats.MPCRounds, stats.MaxMachineEdges)
+	case "max":
+		m, err := bmatch.Max(g, b, opts)
+		fail(err)
+		fmt.Printf("(1+ε) unweighted: |M|=%d (ε=%.3f)\n", m.Size(), *epsFlag)
+	case "maxw":
+		m, err := bmatch.MaxWeight(g, b, opts)
+		fail(err)
+		fmt.Printf("(1+ε) weighted: |M|=%d weight=%.1f (ε=%.3f)\n", m.Size(), m.Weight(), *epsFlag)
+	case "stream":
+		res, err := bmatch.StreamMax(bmatch.NewSliceStream(g), g.N, b, opts)
+		fail(err)
+		fmt.Printf("streaming (1+ε): |M|=%d passes=%d peak=%d words (m=%d)\n",
+			res.Size, res.Passes, res.PeakWords, g.M())
+	case "streamw":
+		res, err := bmatch.StreamMaxWeight(bmatch.NewSliceStream(g), g.N, b, opts)
+		fail(err)
+		fmt.Printf("streaming weighted: |M|=%d weight=%.1f passes=%d peak=%d words\n",
+			res.Size, res.Weight, res.Passes, res.PeakWords)
+	case "greedy":
+		m := baseline.Greedy(g, b)
+		fmt.Printf("greedy (2-approx): |M|=%d weight=%.1f\n", m.Size(), m.Weight())
+	case "greedyw":
+		m := baseline.GreedyWeighted(g, b)
+		fmt.Printf("weighted greedy (2-approx): |M|=%d weight=%.1f\n", m.Size(), m.Weight())
+	default:
+		fail(fmt.Errorf("unknown -algo %q", *algoFlag))
+	}
+	fmt.Printf("elapsed: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func buildInstance() (*graph.Graph, graph.Budgets, error) {
+	if *inputFlag != "" {
+		g, b, err := graphio.ReadFile(*inputFlag)
+		if err != nil {
+			return nil, nil, err
+		}
+		// An explicitly passed -b overrides budgets the file left at the
+		// default of 1 (the flag's default value does not).
+		bSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "b" {
+				bSet = true
+			}
+		})
+		if bSet && *bFlag > 1 {
+			for v := range b {
+				if b[v] == 1 {
+					b[v] = *bFlag
+				}
+			}
+		}
+		return g, b, nil
+	}
+	r := rng.New(*seedFlag)
+	n, m := *nFlag, *mFlag
+	var g *graph.Graph
+	var b graph.Budgets
+	switch *genFlag {
+	case "gnm":
+		if *wFlag {
+			g = graph.GnmWeighted(n, m, 1, 10, r.Split())
+		} else {
+			g = graph.Gnm(n, m, r.Split())
+		}
+	case "bipartite":
+		if *wFlag {
+			g = graph.BipartiteWeighted(n/2, n-n/2, m, 1, 10, r.Split())
+		} else {
+			g = graph.Bipartite(n/2, n-n/2, m, r.Split())
+		}
+	case "powerlaw":
+		g = graph.ChungLu(n, m, 2.3, r.Split())
+	case "clientserver":
+		cs, budgets := graph.ClientServer(n, n/20+1, 6, 3, 40, r.Split())
+		return cs, budgets, nil
+	case "star":
+		g = graph.Star(n)
+	default:
+		return nil, nil, fmt.Errorf("unknown -gen %q", *genFlag)
+	}
+	if *bFlag > 0 {
+		b = graph.UniformBudgets(g.N, *bFlag)
+	} else {
+		b = graph.RandomBudgets(g.N, 1, 4, r.Split())
+	}
+	return g, b, nil
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bmatch:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,490 @@
+// Command experiments regenerates every experiment table and series listed
+// in DESIGN.md (E1–E12; F1–F3 are tests). Each experiment validates one
+// quantitative claim of the paper; EXPERIMENTS.md records claim vs measured.
+//
+// Usage:
+//
+//	go run ./cmd/experiments              # run everything
+//	go run ./cmd/experiments -run E2,E6   # run a subset
+//	go run ./cmd/experiments -quick       # smaller sizes (CI-friendly)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/augment"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/coupling"
+	"repro/internal/exact"
+	"repro/internal/frac"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/rng"
+	"repro/internal/stream"
+	"repro/internal/weighted"
+)
+
+var (
+	runFlag   = flag.String("run", "", "comma-separated experiment ids (e.g. E1,E5); empty = all")
+	quickFlag = flag.Bool("quick", false, "smaller instance sizes")
+	seedFlag  = flag.Int64("seed", 1, "master seed")
+)
+
+type experiment struct {
+	id    string
+	title string
+	fn    func()
+}
+
+func main() {
+	flag.Parse()
+	experiments := []experiment{
+		{"E1", "Lemma 3.5 — loose-edge decay of the idealized process", e1},
+		{"E2", "Theorems 3.1/3.16 — compression steps vs uncompressed rounds", e2},
+		{"E3", "Lemma 3.3 + Theorem 3.1 — Θ(1) approximation ratios", e3},
+		{"E4", "Theorem 4.1 — (1+ε) unweighted approximation", e4},
+		{"E5", "Theorem 5.1 — (1+ε) weighted approximation", e5},
+		{"E6", "Theorem 3.13/3.14 — per-step average-degree decay", e6},
+		{"E7", "Lemma 3.28 — per-machine edge load", e7},
+		{"E8", "Section 4.6 — semi-streaming passes and memory", e8},
+		{"E9", "Section 5.6 — conflict-resolution memory scaling", e9},
+		{"E10", "Ablation — initialization q_v = 0.8b_v/max(d̄,d_v) vs 0.8b_v/d_v", e10},
+		{"E11", "Ablation — random vs fixed activity thresholds", e11},
+		{"E12", "Theorems 3.26/3.27 — coupled-process divergence series", e12},
+	}
+	want := map[string]bool{}
+	if *runFlag != "" {
+		for _, id := range strings.Split(*runFlag, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	ran := 0
+	for _, ex := range experiments {
+		if len(want) > 0 && !want[ex.id] {
+			continue
+		}
+		fmt.Printf("\n===== %s: %s =====\n", ex.id, ex.title)
+		start := time.Now()
+		ex.fn()
+		fmt.Printf("[%s done in %v]\n", ex.id, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "no experiments matched -run")
+		os.Exit(1)
+	}
+}
+
+func masterRNG(salt int64) *rng.RNG { return rng.New(*seedFlag*1000003 + salt) }
+
+func scale(full, quick int) int {
+	if *quickFlag {
+		return quick
+	}
+	return full
+}
+
+// ---------------------------------------------------------------- E1 -----
+
+func e1() {
+	fmt.Println("claim: |E_loose(x,0.2)| ≤ 5m/2^T — exponential decay in T")
+	fmt.Println("workload: dense core + sparse fringe (see graph.CoreFringe: the")
+	fmt.Println("regime where looseness persists and the doubling process has work)")
+	nc := scale(1200, 400)
+	nf := nc
+	fmt.Printf("%6s %8s | %10s %12s %9s\n", "d̄", "T", "|E_loose|", "bound 5m/2^T", "ok")
+	for _, coreDeg := range []int{nc / 8, nc / 2} {
+		r := masterRNG(int64(coreDeg))
+		g := graph.CoreFringe(nc, nc*coreDeg/2, nf, nf/2, r.Split())
+		b := graph.RandomBudgets(g.N, 1, 3, r.Split())
+		p := frac.BMatchingProblem(g, b)
+		m := g.M()
+		for _, T := range []int{0, 2, 4, 6, 8, 10, 12} {
+			x := p.Sequential(T, nil, r.Split())
+			loose := len(p.ELoose(x, 0.2))
+			bound := 5 * float64(m) / math.Pow(2, float64(T))
+			fmt.Printf("%6.0f %8d | %10d %12.1f %9v\n",
+				g.AvgDeg(), T, loose, bound, float64(loose) <= bound)
+		}
+	}
+}
+
+// ---------------------------------------------------------------- E2 -----
+
+func e2() {
+	fmt.Println("claim: FullMPC needs O(log log d̄) compression steps; the")
+	fmt.Println("uncompressed doubling baseline needs Θ(log d̄) rounds")
+	nc := scale(1200, 400)
+	nf := nc
+	fmt.Printf("%6s | %8s %12s | %10s %9s | %8s\n",
+		"d̄", "steps", "log2log2(d̄)", "baseline", "log2(5m)", "speedup")
+	for _, coreDeg := range []int{8, nc / 32, nc / 8, nc / 2} {
+		if coreDeg >= nc || coreDeg < 2 {
+			continue
+		}
+		r := masterRNG(int64(100 + coreDeg))
+		g := graph.CoreFringe(nc, nc*coreDeg/2, nf, nf/2, r.Split())
+		p := frac.BMatchingProblem(g, graph.RandomBudgets(g.N, 1, 4, r.Split()))
+		full := p.FullMPC(frac.PracticalParams(), r.Split())
+		base := baseline.Uncompressed(p, r.Split())
+		d := g.AvgDeg()
+		ll := math.Log2(math.Log2(d + 2))
+		fmt.Printf("%6.0f | %8d %12.2f | %10d %9.1f | %7.1fx\n",
+			d, full.Iterations, ll, base.Rounds, math.Log2(5*float64(g.M())),
+			float64(base.Rounds)/float64(full.Iterations))
+	}
+	fmt.Println("shape: steps column grows like log log d̄ (nearly flat);")
+	fmt.Println("baseline grows like log d̄ — compression wins, more with density.")
+}
+
+// ---------------------------------------------------------------- E3 -----
+
+func e3() {
+	fmt.Println("claim: the MPC pipeline is Θ(1)-approximate on every family")
+	fmt.Printf("%-26s | %6s %9s %8s\n", "family", "|M|", "OPT/bound", "ratio≥")
+	report := func(name string, m *matching.BMatching, bound float64) {
+		fmt.Printf("%-26s | %6d %9.0f %8.3f\n", name, m.Size(), bound, float64(m.Size())/bound)
+	}
+
+	// Small general graphs: exact optimum by branch and bound.
+	{
+		r := masterRNG(200)
+		g := graph.Gnm(10, 20, r.Split())
+		b := graph.RandomBudgets(10, 1, 3, r.Split())
+		res, err := core.ConstApprox(g, b, frac.PracticalParams(), r.Split())
+		check(err)
+		opt, _ := exact.BruteForce(g, b)
+		report("small general (exact)", res.M, float64(opt))
+	}
+	// Bipartite: exact optimum by max-flow.
+	{
+		r := masterRNG(201)
+		nl := scale(300, 80)
+		g := graph.Bipartite(nl, nl, nl*8, r.Split())
+		b := graph.RandomBudgets(2*nl, 1, 4, r.Split())
+		res, err := core.ConstApprox(g, b, frac.PracticalParams(), r.Split())
+		check(err)
+		opt, err := exact.MaxBipartite(g, b)
+		check(err)
+		report("bipartite (exact flow)", res.M, float64(opt))
+	}
+	// Large general: certified dual bound.
+	{
+		r := masterRNG(202)
+		n := scale(3000, 800)
+		g := graph.Gnm(n, n*16, r.Split())
+		b := graph.RandomBudgets(n, 1, 4, r.Split())
+		res, err := core.ConstApprox(g, b, frac.PracticalParams(), r.Split())
+		check(err)
+		report("large general (dual bd)", res.M, res.DualBound)
+	}
+	// Heterogeneous client-server budgets.
+	{
+		r := masterRNG(203)
+		g, b := graph.ClientServer(scale(2000, 400), 50, 5, 3, 30, r.Split())
+		res, err := core.ConstApprox(g, b, frac.PracticalParams(), r.Split())
+		check(err)
+		report("client-server (dual bd)", res.M, res.DualBound)
+	}
+	// Skewed degrees.
+	{
+		r := masterRNG(204)
+		n := scale(1500, 400)
+		g := graph.ChungLu(n, n*6, 2.3, r.Split())
+		b := graph.RandomBudgets(n, 1, 3, r.Split())
+		res, err := core.ConstApprox(g, b, frac.PracticalParams(), r.Split())
+		check(err)
+		report("power-law (dual bd)", res.M, res.DualBound)
+	}
+	fmt.Println("shape: ratio is a constant (never vanishing), uniform across families.")
+}
+
+// ---------------------------------------------------------------- E4 -----
+
+func e4() {
+	fmt.Println("claim: ratio → 1 as ε → 0 (unweighted)")
+	fmt.Printf("%-22s %6s | %8s %8s %10s %8s\n",
+		"instance", "ε", "|M|", "OPT", "ratio", "≥1/(1+ε)")
+	// Bipartite with exact optimum.
+	r := masterRNG(300)
+	nl := scale(60, 25)
+	g := graph.Bipartite(nl, nl, nl*6, r.Split())
+	b := graph.RandomBudgets(2*nl, 1, 3, r.Split())
+	opt, err := exact.MaxBipartite(g, b)
+	check(err)
+	for _, eps := range []float64{1, 0.5, 0.25, 0.125} {
+		res, err := augment.OnePlusEps(g, b, nil, augment.DefaultParams(eps), r.Split())
+		check(err)
+		ratio := float64(res.M.Size()) / float64(opt)
+		fmt.Printf("%-22s %6.3f | %8d %8d %10.4f %8v\n",
+			"bipartite", eps, res.M.Size(), opt, ratio, ratio >= 1/(1+eps)-1e-9)
+	}
+	// Small general graph with brute-force optimum.
+	r2 := masterRNG(301)
+	g2 := graph.Gnm(11, 22, r2.Split())
+	b2 := graph.RandomBudgets(11, 1, 3, r2.Split())
+	opt2, _ := exact.BruteForce(g2, b2)
+	for _, eps := range []float64{1, 0.5, 0.25} {
+		res, err := augment.OnePlusEps(g2, b2, nil, augment.DefaultParams(eps), r2.Split())
+		check(err)
+		ratio := float64(res.M.Size()) / float64(opt2)
+		fmt.Printf("%-22s %6.3f | %8d %8d %10.4f %8v\n",
+			"small general", eps, res.M.Size(), opt2, ratio, ratio >= 1/(1+eps)-1e-9)
+	}
+}
+
+// ---------------------------------------------------------------- E5 -----
+
+func e5() {
+	fmt.Println("claim: weight ratio → 1 as ε → 0 (weighted)")
+	fmt.Printf("%-22s %6s | %10s %10s %10s %8s\n",
+		"instance", "ε", "weight", "OPT", "ratio", "≥1/(1+ε)")
+	r := masterRNG(400)
+	nl := scale(40, 20)
+	g := graph.BipartiteWeighted(nl, nl, nl*6, 1, 10, r.Split())
+	b := graph.RandomBudgets(2*nl, 1, 3, r.Split())
+	optW, err := exact.MaxWeightBipartite(g, b)
+	check(err)
+	for _, eps := range []float64{1, 0.5, 0.25} {
+		res, err := weighted.OnePlusEpsWeighted(g, b, nil, weighted.DefaultParams(eps), r.Split())
+		check(err)
+		ratio := res.M.Weight() / optW
+		fmt.Printf("%-22s %6.3f | %10.1f %10.1f %10.4f %8v\n",
+			"bipartite", eps, res.M.Weight(), optW, ratio, ratio >= 1/(1+eps)-1e-9)
+	}
+	r2 := masterRNG(401)
+	g2 := graph.GnmWeighted(10, 20, 1, 10, r2.Split())
+	b2 := graph.RandomBudgets(10, 1, 2, r2.Split())
+	_, optW2 := exact.BruteForce(g2, b2)
+	for _, eps := range []float64{1, 0.5, 0.25} {
+		res, err := weighted.OnePlusEpsWeighted(g2, b2, nil, weighted.DefaultParams(eps), r2.Split())
+		check(err)
+		ratio := res.M.Weight() / optW2
+		fmt.Printf("%-22s %6.3f | %10.1f %10.1f %10.4f %8v\n",
+			"small general", eps, res.M.Weight(), optW2, ratio, ratio >= 1/(1+eps)-1e-9)
+	}
+	fmt.Println("also: greedy baseline for reference")
+	gm := baseline.GreedyWeighted(g, b)
+	fmt.Printf("%-22s %6s | %10.1f %10.1f %10.4f\n", "bipartite greedy", "-", gm.Weight(), optW, gm.Weight()/optW)
+}
+
+// ---------------------------------------------------------------- E6 -----
+
+func e6() {
+	fmt.Println("claim: average active degree drops polynomially per compression step")
+	nc := scale(1200, 400)
+	d := nc / 2
+	nf := nc
+	r := masterRNG(500)
+	g := graph.CoreFringe(nc, nc*d/2, nf, nf/2, r.Split())
+	p := frac.BMatchingProblem(g, graph.RandomBudgets(g.N, 1, 3, r.Split()))
+	res := p.FullMPC(frac.PracticalParams(), r.Split())
+	fmt.Printf("%6s | %12s %14s %8s\n", "step", "active edges", "avg active deg", "mode")
+	for i, it := range res.History {
+		mode := "seq"
+		if it.UsedMPC {
+			mode = "mpc"
+		}
+		fmt.Printf("%6d | %12d %14.2f %8s\n", i+1, it.ActiveEdges, it.AvgActiveDeg, mode)
+	}
+	fmt.Printf("converged=%v after %d steps (log2 log2 d̄ = %.2f)\n",
+		res.Converged, res.Iterations, math.Log2(math.Log2(g.AvgDeg())))
+}
+
+// ---------------------------------------------------------------- E7 -----
+
+func e7() {
+	fmt.Println("claim: every machine holds Õ(n) edges whp (Lemma 3.28)")
+	fmt.Printf("%8s %10s %6s | %14s %10s %12s\n",
+		"n", "m", "√d̄", "max mach edges", "n (bound)", "load/n")
+	for _, cfg := range [][2]int{{1000, 16000}, {1000, 64000}, {2000, 64000}, {scale(4000, 1500), scale(256000, 48000)}} {
+		n, m := cfg[0], cfg[1]
+		r := masterRNG(int64(600 + n + m))
+		g := graph.Gnm(n, m, r.Split())
+		p := frac.BMatchingProblem(g, graph.UniformBudgets(n, 2))
+		res := p.OneRoundMPC(frac.PracticalParams(), nil, r.Split())
+		fmt.Printf("%8d %10d %6d | %14d %10d %12.2f\n",
+			n, m, res.N, res.MaxMachineEdges, n, float64(res.MaxMachineEdges)/float64(n))
+	}
+	fmt.Println("shape: load/n stays O(polylog), independent of m growing.")
+}
+
+// ---------------------------------------------------------------- E8 -----
+
+func e8() {
+	fmt.Println("claim: semi-streaming uses Õ(Σb_v) words, not O(m); quality holds")
+	fmt.Printf("%10s %8s | %-12s %6s %8s %12s %10s\n",
+		"m", "Σb", "variant", "|M|", "passes", "peak words", "words/m")
+	n := scale(1200, 400)
+	for _, mult := range []int{20, 60, 120} {
+		m := n * mult / 2
+		r := masterRNG(int64(700 + mult))
+		g := graph.Gnm(n, m, r.Split())
+		b := graph.RandomBudgets(n, 1, 3, r.Split())
+		res1 := stream.GreedyOnePass(stream.NewSliceStream(g), g.N, b)
+		fmt.Printf("%10d %8d | %-12s %6d %8d %12d %10.3f\n",
+			m, b.Sum(), "greedy 1pass", res1.Size, res1.Passes, res1.PeakWords,
+			float64(res1.PeakWords)/float64(m))
+		res2, err := stream.OnePlusEps(stream.NewSliceStream(g), g.N, b,
+			stream.Params{Eps: 0.5, MaxSweeps: 6, RetriesPerK: 2, MaxRetries: 8}, r.Split())
+		check(err)
+		fmt.Printf("%10d %8d | %-12s %6d %8d %12d %10.3f\n",
+			m, b.Sum(), "multi-pass", res2.Size, res2.Passes, res2.PeakWords,
+			float64(res2.PeakWords)/float64(m))
+	}
+	fmt.Println("shape: words/m shrinks as m grows — memory tracks Σb, not m.")
+}
+
+// ---------------------------------------------------------------- E9 -----
+
+func e9() {
+	fmt.Println("claim: parallel conflict resolution needs per-machine memory")
+	fmt.Println("~total/machines; the gather baseline concentrates everything on one machine")
+	fmt.Printf("%8s %8s | %14s %16s %10s\n",
+		"Σb", "walks", "gather words", "max mach words", "reduction")
+	for _, hub := range []int{scale(400, 100), scale(1600, 400), scale(6400, 1000)} {
+		// Star-of-stars: one hub with enormous budget, many augmenting
+		// 1-walks — the Σb_v ≫ n regime that breaks the gather approach.
+		leaves := hub
+		g := graph.Star(leaves + 1)
+		b := make(graph.Budgets, leaves+1)
+		b[0] = hub
+		for i := 1; i <= leaves; i++ {
+			b[i] = 1
+		}
+		m := matching.MustNew(g, b)
+		var cands []weighted.Candidate
+		var walks []matching.Walk
+		for e := 0; e < g.M(); e++ {
+			w := matching.Walk{EdgeIDs: []int32{int32(e)}, Start: int32(e + 1)}
+			walks = append(walks, w)
+			cands = append(cands, weighted.Candidate{Walk: w, Gain: 1})
+		}
+		_, gatherWords := baseline.GatherConflictResolution(walks, m)
+		machines := 16
+		_, stats := weighted.ResolveWithinMPC(cands, m, machines)
+		fmt.Printf("%8d %8d | %14d %16d %9.1fx\n",
+			b.Sum(), len(walks), gatherWords, stats.MaxMachineWords,
+			float64(gatherWords)/float64(stats.MaxMachineWords))
+	}
+	fmt.Println("shape: gather grows linearly with Σb; per-machine stays ~total/16.")
+}
+
+// ---------------------------------------------------------------- E10 ----
+
+func e10() {
+	fmt.Println("claim: the max(d̄, d_v) clamp in q_v keeps estimates accurate on")
+	fmt.Println("skewed graphs; without it low-degree vertices get oversized values")
+	n := scale(2000, 600)
+	r := masterRNG(900)
+	g := graph.ChungLu(n, n*10, 2.2, r.Split())
+	p := frac.BMatchingProblem(g, graph.UniformBudgets(n, 2))
+	fmt.Printf("%-14s | %12s %16s %12s\n", "init rule", "|E_loose|", "mean |ŷ-y|/b", "bad verts")
+	for _, noClamp := range []bool{false, true} {
+		params := frac.PracticalParams()
+		params.InitNoClamp = noClamp
+		rr := rng.New(4242) // identical randomness for both rules
+		T := 4
+		th := frac.NewThresholds(p, T+2, rr.Split())
+		res := p.OneRoundMPC(params, th, rr.Split())
+		seq := p.Sequential(res.T, th, rr.Split())
+		ySeq := p.VertexSums(seq)
+		yMPC := p.VertexSums(res.X)
+		var errSum float64
+		bad := 0
+		for v := 0; v < g.N; v++ {
+			if p.B[v] > 0 {
+				dev := math.Abs(ySeq[v]-yMPC[v]) / p.B[v]
+				errSum += dev
+				if dev > 0.1 {
+					bad++
+				}
+			}
+		}
+		name := "paper (clamp)"
+		if noClamp {
+			name = "ablated (d_v)"
+		}
+		fmt.Printf("%-14s | %12d %16.4f %12d\n",
+			name, len(p.ELoose(res.X, 0.05)), errSum/float64(g.N), bad)
+	}
+	fmt.Println("shape: the ablated rule shows larger estimate error / more loose edges.")
+}
+
+// ---------------------------------------------------------------- E11 ----
+
+func e11() {
+	fmt.Println("claim: random thresholds U(0.2b,0.4b) keep the coupled idealized and")
+	fmt.Println("approximate processes aligned; a fixed 0.5b threshold is knife-edge")
+	n := scale(2000, 600)
+	r := masterRNG(1000)
+	g := graph.Gnm(n, n*24, r.Split())
+	p := frac.BMatchingProblem(g, graph.UniformBudgets(n, 2))
+	fmt.Printf("%-18s | %16s %14s\n", "threshold rule", "mean |ŷ-y|/b", "diverged verts")
+	for _, fixed := range []bool{false, true} {
+		rr := rng.New(777)
+		params := frac.PracticalParams()
+		var th frac.ThresholdFn
+		if fixed {
+			th = frac.FixedThresholds(p, 0.5)
+		} else {
+			th = frac.NewThresholds(p, 8, rr.Split())
+		}
+		res := p.OneRoundMPC(params, th, rr.Split())
+		seq := p.Sequential(res.T, th, rr.Split())
+		ySeq := p.VertexSums(seq)
+		yMPC := p.VertexSums(res.X)
+		var errSum float64
+		div := 0
+		for v := 0; v < g.N; v++ {
+			dev := math.Abs(ySeq[v]-yMPC[v]) / p.B[v]
+			errSum += dev
+			if dev > 0.1 {
+				div++
+			}
+		}
+		name := "random (paper)"
+		if fixed {
+			name = "fixed 0.5b"
+		}
+		fmt.Printf("%-18s | %16.4f %14d\n", name, errSum/float64(g.N), div)
+	}
+}
+
+// ---------------------------------------------------------------- E12 ----
+
+func e12() {
+	fmt.Println("claim: the coupled idealized/approximate processes stay aligned —")
+	fmt.Println("per-round estimate error and activity divergence stay far below the")
+	fmt.Println("ρ_t = N^(-0.2)·100^t envelope of Theorem 3.26")
+	nc := scale(500, 200)
+	nf := 2 * nc
+	r := masterRNG(1200)
+	g := graph.CoreFringe(nc, nc*nc/8, nf, nf/2, r.Split())
+	p := frac.BMatchingProblem(g, graph.RandomBudgets(g.N, 1, 3, r.Split()))
+	N := int(math.Ceil(math.Sqrt(g.AvgDeg())))
+	T := 6
+	res := coupling.Run(p, N, T, nil, r.Split())
+	fmt.Printf("instance: n=%d m=%d d̄=%.0f, partitions N=%d\n", g.N, g.M(), g.AvgDeg(), N)
+	fmt.Printf("%6s | %12s %12s %12s | %10s %12s\n",
+		"t", "max|y-ŷ|/b", "mean|y-ŷ|/b", "maxΣ|x-x̃|/b", "V△Ṽ", "ρ_t envelope")
+	for _, st := range res.Rounds {
+		fmt.Printf("%6d | %12.4f %12.4f %12.4f | %10d %12.2g\n",
+			st.T, st.MaxYDiv, st.MeanYDiv, st.MaxEdgeDiv, st.ActiveSymDiff, res.Rho(st.T))
+	}
+	fmt.Println("shape: estimate error stays O(1)·b while ρ_t explodes — the paper's")
+	fmt.Println("envelope is comfortable; activity divergence stays a small fraction of n.")
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiment failed:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,80 @@
+package bmatch_test
+
+import (
+	"fmt"
+
+	bmatch "repro"
+)
+
+// A path of three edges with unit budgets: the maximum matching takes the
+// two outer edges.
+func ExampleMax() {
+	g, err := bmatch.NewGraph(4, []bmatch.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 2, V: 3, W: 1},
+	})
+	if err != nil {
+		panic(err)
+	}
+	m, err := bmatch.Max(g, bmatch.UniformBudgets(4, 1), bmatch.Options{Seed: 1, Eps: 0.25})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("size:", m.Size())
+	// Output:
+	// size: 2
+}
+
+// The classic weighted greedy trap (3-4-3): the optimum takes the outer
+// edges for weight 6.
+func ExampleMaxWeight() {
+	g, err := bmatch.NewGraph(4, []bmatch.Edge{
+		{U: 0, V: 1, W: 3}, {U: 1, V: 2, W: 4}, {U: 2, V: 3, W: 3},
+	})
+	if err != nil {
+		panic(err)
+	}
+	m, err := bmatch.MaxWeight(g, bmatch.UniformBudgets(4, 1), bmatch.Options{Seed: 1, Eps: 0.2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("weight:", m.Weight())
+	// Output:
+	// weight: 6
+}
+
+// A triangle with budget 2 everywhere admits all three edges.
+func ExampleApprox() {
+	g, err := bmatch.NewGraph(3, []bmatch.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 0, V: 2, W: 1},
+	})
+	if err != nil {
+		panic(err)
+	}
+	m, stats, err := bmatch.Approx(g, bmatch.UniformBudgets(3, 2), bmatch.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("size:", m.Size(), "upper bound holds:", float64(m.Size()) <= stats.DualBound)
+	// Output:
+	// size: 3 upper bound holds: true
+}
+
+// Budgets bound matched degrees per vertex: a star's hub with budget 2
+// admits exactly two of its edges.
+func ExampleUniformBudgets() {
+	g, err := bmatch.NewGraph(4, []bmatch.Edge{
+		{U: 0, V: 1, W: 1}, {U: 0, V: 2, W: 1}, {U: 0, V: 3, W: 1},
+	})
+	if err != nil {
+		panic(err)
+	}
+	b := bmatch.UniformBudgets(4, 1)
+	b[0] = 2
+	m, err := bmatch.Max(g, b, bmatch.Options{Seed: 1, Eps: 0.5})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("hub degree:", m.MatchedDeg(0))
+	// Output:
+	// hub degree: 2
+}

@@ -1,0 +1,171 @@
+// The H-construction of Section 4.2: viewing M △ M* as a union of two
+// 1-matchings on a decompressed copy set proves that a non-maximum
+// b-matching always admits a collection of independently applicable
+// augmenting walks. The structural tests use this to augment a greedy
+// matching all the way to a brute-force optimum, and the driver tests use
+// it as an oracle for "how much improvement is left".
+package augment
+
+import (
+	"fmt"
+
+	"repro/internal/matching"
+)
+
+// HEdge is an edge of H between two copies; FromM says whether it came from
+// M (versus M*).
+type HEdge struct {
+	CU, CV Copy
+	E      int32 // original edge id
+	FromM  bool
+}
+
+// HGraph is the graph H of Section 4.2 built from M △ M*.
+type HGraph struct {
+	BPrime []int32 // b'_v = max(deg_v(M∩Mdiff), deg_v(M*∩Mdiff))
+	Edges  []HEdge
+}
+
+// BuildH constructs H for the current matching m and a target matching
+// mstar over the same graph and budgets. M-edges and M*-edges of M △ M* are
+// placed between copies so that each copy carries at most one M-edge and at
+// most one M*-edge (Steps (A)–(C)).
+func BuildH(m, mstar *matching.BMatching) (*HGraph, error) {
+	if m.Graph() != mstar.Graph() {
+		return nil, fmt.Errorf("augment: BuildH needs matchings over the same graph")
+	}
+	g := m.Graph()
+	n := g.N
+
+	inDiff := func(e int32) bool { return m.Contains(e) != mstar.Contains(e) }
+
+	degM := make([]int32, n)
+	degStar := make([]int32, n)
+	for e := 0; e < g.M(); e++ {
+		if !inDiff(int32(e)) {
+			continue
+		}
+		ed := g.Edges[e]
+		if m.Contains(int32(e)) {
+			degM[ed.U]++
+			degM[ed.V]++
+		} else {
+			degStar[ed.U]++
+			degStar[ed.V]++
+		}
+	}
+	h := &HGraph{BPrime: make([]int32, n)}
+	for v := 0; v < n; v++ {
+		h.BPrime[v] = degM[v]
+		if degStar[v] > h.BPrime[v] {
+			h.BPrime[v] = degStar[v]
+		}
+	}
+
+	// Step (B)/(C): number each side's edges per vertex; the i-th M-edge of
+	// v goes to copy i, and independently the i-th M*-edge goes to copy i.
+	// Both numberings fit inside b'_v, and no copy sees two edges from the
+	// same side.
+	nextM := make([]int32, n)
+	nextStar := make([]int32, n)
+	for e := 0; e < g.M(); e++ {
+		if !inDiff(int32(e)) {
+			continue
+		}
+		ed := g.Edges[e]
+		fromM := m.Contains(int32(e))
+		var cu, cv Copy
+		if fromM {
+			cu = Copy{V: ed.U, Idx: nextM[ed.U]}
+			cv = Copy{V: ed.V, Idx: nextM[ed.V]}
+			nextM[ed.U]++
+			nextM[ed.V]++
+		} else {
+			cu = Copy{V: ed.U, Idx: nextStar[ed.U]}
+			cv = Copy{V: ed.V, Idx: nextStar[ed.V]}
+			nextStar[ed.U]++
+			nextStar[ed.V]++
+		}
+		h.Edges = append(h.Edges, HEdge{CU: cu, CV: cv, E: int32(e), FromM: fromM})
+	}
+	return h, nil
+}
+
+// AugmentingWalks decomposes H into alternating components and returns, as
+// walks in G, the components that are M-augmenting paths (one more M*-edge
+// than M-edges). Applying all returned walks transforms M into a b-matching
+// of size |M*| (the Section 4.2 structural theorem); each walk is also
+// independently applicable.
+func (h *HGraph) AugmentingWalks(m *matching.BMatching) []matching.Walk {
+	type key struct {
+		V, I int32
+	}
+	adj := make(map[key][]int32) // copy -> incident H-edge indices (≤ 2)
+	for i, he := range h.Edges {
+		adj[key{he.CU.V, he.CU.Idx}] = append(adj[key{he.CU.V, he.CU.Idx}], int32(i))
+		adj[key{he.CV.V, he.CV.Idx}] = append(adj[key{he.CV.V, he.CV.Idx}], int32(i))
+	}
+	used := make([]bool, len(h.Edges))
+	var walks []matching.Walk
+
+	// Trace the component starting at a degree-1 copy; H components are
+	// paths and cycles since each copy has ≤ 1 M-edge and ≤ 1 M*-edge.
+	trace := func(start key) ([]int32, key) {
+		var edges []int32
+		cur := start
+		for {
+			var next int32 = -1
+			for _, ei := range adj[cur] {
+				if !used[ei] {
+					next = ei
+					break
+				}
+			}
+			if next == -1 {
+				return edges, cur
+			}
+			used[next] = true
+			edges = append(edges, next)
+			he := h.Edges[next]
+			if (key{he.CU.V, he.CU.Idx}) == cur {
+				cur = key{he.CV.V, he.CV.Idx}
+			} else {
+				cur = key{he.CU.V, he.CU.Idx}
+			}
+		}
+	}
+
+	for i := range h.Edges {
+		if used[i] {
+			continue
+		}
+		he := h.Edges[i]
+		// Find a path endpoint for this component by walking to one end
+		// first, then tracing from there. (If it is a cycle, the trace
+		// returns to its start and the component has equal counts of M and
+		// M* edges — not augmenting, skipped.)
+		endEdges, endpoint := trace(key{he.CU.V, he.CU.Idx})
+		for _, ei := range endEdges {
+			used[ei] = false // rewind the exploratory walk
+		}
+		edges, _ := trace(endpoint)
+
+		starCnt, mCnt := 0, 0
+		for _, ei := range edges {
+			if h.Edges[ei].FromM {
+				mCnt++
+			} else {
+				starCnt++
+			}
+		}
+		if starCnt != mCnt+1 {
+			continue // cycle or non-augmenting path
+		}
+		ids := make([]int32, len(edges))
+		for j, ei := range edges {
+			ids[j] = h.Edges[ei].E
+		}
+		walks = append(walks, matching.Walk{EdgeIDs: ids, Start: endpoint.V})
+	}
+	return walks
+}

@@ -1,0 +1,83 @@
+// A distributed maximal b-matching in the style of Israeli–Itai [II86]
+// (the classic O(log n)-round LOCAL algorithm the paper cites as the
+// pre-compression state of the art). Each round, every free vertex
+// proposes to one uniformly random free neighbor with an unmatched
+// connecting edge; a proposal is accepted if the receiving endpoint has
+// residual budget, processing proposals in random order. The expected
+// number of rounds until maximality is O(log n), which the test suite
+// checks empirically — the round count is the LOCAL-model column that the
+// paper's O(log log d̄) result is measured against.
+package baseline
+
+import (
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/rng"
+)
+
+// IIResult is the outcome of the randomized distributed maximal algorithm.
+type IIResult struct {
+	M      *matching.BMatching
+	Rounds int
+}
+
+// IIMaximal runs the proposal process until the matching is maximal (or
+// maxRounds is hit, which the O(log n) bound makes vanishingly unlikely;
+// pass 0 for the default cap of 20·log2(n)+40).
+func IIMaximal(g *graph.Graph, b graph.Budgets, maxRounds int, r *rng.RNG) *IIResult {
+	if maxRounds <= 0 {
+		maxRounds = 40
+		for x := g.N; x > 1; x /= 2 {
+			maxRounds += 20
+		}
+	}
+	m := matching.MustNew(g, b)
+	res := &IIResult{M: m}
+	for round := 0; round < maxRounds; round++ {
+		// Collect proposals: each free vertex picks one candidate edge.
+		proposals := make([]int32, 0, g.N)
+		for v := int32(0); int(v) < g.N; v++ {
+			if !m.Free(v) {
+				continue
+			}
+			inc := g.Incident(v)
+			// Reservoir-sample one addable edge.
+			var pick int32 = -1
+			seen := 0
+			for _, e := range inc {
+				if m.Contains(e) || !m.CanAdd(e) {
+					continue
+				}
+				seen++
+				if r.Intn(seen) == 0 {
+					pick = e
+				}
+			}
+			if pick >= 0 {
+				proposals = append(proposals, pick)
+			}
+		}
+		if len(proposals) == 0 {
+			res.Rounds = round + 1
+			return res
+		}
+		// Resolve proposals in random order (models simultaneous arrival).
+		r.Shuffle(len(proposals), func(i, j int) {
+			proposals[i], proposals[j] = proposals[j], proposals[i]
+		})
+		progress := false
+		for _, e := range proposals {
+			if m.CanAdd(e) {
+				if err := m.Add(e); err == nil {
+					progress = true
+				}
+			}
+		}
+		if !progress {
+			res.Rounds = round + 1
+			return res
+		}
+	}
+	res.Rounds = maxRounds
+	return res
+}

@@ -1,0 +1,291 @@
+// Package frac implements Section 3 of the paper: the fractional b-matching
+// LP, α-tightness (Definition 3.2), the idealized process Sequential
+// (Algorithm 1), its MPC round compression OneRoundMPC (Algorithm 2), and
+// the complete driver FullMPC (Algorithm 3).
+//
+// The LP being approximated is
+//
+//	maximize   Σ_e x_e
+//	subject to Σ_{e∈E(v)} x_e ≤ b_v   for every v
+//	           x_e ≤ r_e              for every e
+//	           x ≥ 0,
+//
+// with arbitrary non-negative reals b and r (Section 3.3). Setting r_e = 1
+// makes it the relaxation of integral b-matching.
+package frac
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Problem bundles an LP instance: a graph with vertex capacities B and edge
+// capacities R.
+type Problem struct {
+	G *graph.Graph
+	B []float64 // b_v ≥ 0
+	R []float64 // r_e ≥ 0
+}
+
+// NewProblem validates and returns an LP instance.
+func NewProblem(g *graph.Graph, b, r []float64) (*Problem, error) {
+	if len(b) != g.N {
+		return nil, fmt.Errorf("frac: |b| = %d, want n = %d", len(b), g.N)
+	}
+	if len(r) != g.M() {
+		return nil, fmt.Errorf("frac: |r| = %d, want m = %d", len(r), g.M())
+	}
+	for v, x := range b {
+		if x < 0 || math.IsNaN(x) {
+			return nil, fmt.Errorf("frac: invalid b[%d] = %v", v, x)
+		}
+	}
+	for e, x := range r {
+		if x < 0 || math.IsNaN(x) {
+			return nil, fmt.Errorf("frac: invalid r[%d] = %v", e, x)
+		}
+	}
+	return &Problem{G: g, B: b, R: r}, nil
+}
+
+// BMatchingProblem returns the LP instance for integral b-matching: edge
+// capacities r_e = 1 and vertex capacities from the budget vector.
+func BMatchingProblem(g *graph.Graph, b graph.Budgets) *Problem {
+	r := make([]float64, g.M())
+	for i := range r {
+		r[i] = 1
+	}
+	p, err := NewProblem(g, b.Floats(), r)
+	if err != nil {
+		panic(err) // budgets validated by caller; unreachable for valid input
+	}
+	return p
+}
+
+// VertexSums returns y with y[v] = Σ_{e∈E(v)} x_e.
+func (p *Problem) VertexSums(x []float64) []float64 {
+	y := make([]float64, p.G.N)
+	for e, xe := range x {
+		ed := p.G.Edges[e]
+		y[ed.U] += xe
+		y[ed.V] += xe
+	}
+	return y
+}
+
+// Value returns Σ_e x_e.
+func Value(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// VLoose returns the indicator of V_loose(x, α) = {v : Σ_{e∈E(v)} x_e < α·b_v}
+// (Definition 3.2).
+func (p *Problem) VLoose(x []float64, alpha float64) []bool {
+	y := p.VertexSums(x)
+	out := make([]bool, p.G.N)
+	for v := range out {
+		out[v] = y[v] < alpha*p.B[v]
+	}
+	return out
+}
+
+// ELoose returns the edge ids in E_loose(x, α): edges with x_e < α·r_e whose
+// both endpoints are in V_loose(x, α) (Definition 3.2).
+func (p *Problem) ELoose(x []float64, alpha float64) []int32 {
+	vl := p.VLoose(x, alpha)
+	var out []int32
+	for e := range p.G.Edges {
+		ed := p.G.Edges[e]
+		if x[e] < alpha*p.R[e] && vl[ed.U] && vl[ed.V] {
+			out = append(out, int32(e))
+		}
+	}
+	return out
+}
+
+// IsTight reports whether x is α-tight: E_loose(x, α) = ∅.
+func (p *Problem) IsTight(x []float64, alpha float64) bool {
+	return len(p.ELoose(x, alpha)) == 0
+}
+
+// CheckFeasible verifies 0 ≤ x_e ≤ r_e and Σ_{e∈E(v)} x_e ≤ b_v, with a
+// small relative tolerance for floating-point accumulation.
+func (p *Problem) CheckFeasible(x []float64) error {
+	const tol = 1e-9
+	if len(x) != p.G.M() {
+		return fmt.Errorf("frac: |x| = %d, want m = %d", len(x), p.G.M())
+	}
+	for e, xe := range x {
+		if xe < -tol || xe > p.R[e]*(1+tol)+tol {
+			return fmt.Errorf("frac: x[%d] = %v violates [0, r=%v]", e, xe, p.R[e])
+		}
+	}
+	y := p.VertexSums(x)
+	for v := range y {
+		if y[v] > p.B[v]*(1+tol)+tol {
+			return fmt.Errorf("frac: vertex %d sum %v > b = %v", v, y[v], p.B[v])
+		}
+	}
+	return nil
+}
+
+// DualBound returns the Lemma 3.3 certificate for an α-tight feasible x: the
+// dual solution (y_v = 1 iff Σ x_e ≥ α·b_v, z_e = 1 iff x_e ≥ α·r_e) is
+// feasible, so OPT ≤ Σ_v b_v·y_v + Σ_e z_e·r_e, and the lemma's charging
+// argument gives Σx_e ≥ (α/3)·OPT. The returned value is the dual objective,
+// a certified upper bound on the LP optimum (hence on the maximum
+// b-matching size when r ≡ 1).
+func (p *Problem) DualBound(x []float64, alpha float64) float64 {
+	y := p.VertexSums(x)
+	var bound float64
+	for v := 0; v < p.G.N; v++ {
+		if y[v] >= alpha*p.B[v] {
+			bound += p.B[v]
+		}
+	}
+	for e := range p.G.Edges {
+		if x[e] >= alpha*p.R[e] {
+			bound += p.R[e]
+		}
+	}
+	return bound
+}
+
+// InitialValues returns x_{e,0} = min(r_e, q_v, q_u) with
+// q_v = 0.8·b_v / max(|E(v)|, d̄) — the initialization of Algorithm 1 that
+// both balances validity and keeps per-edge influence small (Section 1.4).
+// avgDeg is d̄ of the graph the process runs on.
+func (p *Problem) InitialValues(avgDeg float64) []float64 {
+	q := make([]float64, p.G.N)
+	for v := 0; v < p.G.N; v++ {
+		den := math.Max(float64(p.G.Deg(int32(v))), avgDeg)
+		if den <= 0 {
+			q[v] = 0
+			continue
+		}
+		q[v] = 0.8 * p.B[v] / den
+	}
+	x := make([]float64, p.G.M())
+	for e := range p.G.Edges {
+		ed := p.G.Edges[e]
+		x[e] = math.Min(p.R[e], math.Min(q[ed.U], q[ed.V]))
+	}
+	return x
+}
+
+// InitialValuesUnclamped returns the ablated initialization
+// q_v = 0.8·b_v/deg(v) (no max(d̄, ·) clamp). Still a valid fractional
+// b-matching, but low-degree vertices get edge values large enough to wreck
+// the round-compression estimates (Section 1.4); experiment E10 quantifies
+// the difference.
+func (p *Problem) InitialValuesUnclamped() []float64 {
+	q := make([]float64, p.G.N)
+	for v := 0; v < p.G.N; v++ {
+		d := float64(p.G.Deg(int32(v)))
+		if d <= 0 {
+			q[v] = 0
+			continue
+		}
+		q[v] = 0.8 * p.B[v] / d
+	}
+	x := make([]float64, p.G.M())
+	for e := range p.G.Edges {
+		ed := p.G.Edges[e]
+		x[e] = math.Min(p.R[e], math.Min(q[ed.U], q[ed.V]))
+	}
+	return x
+}
+
+// ThresholdFn supplies the random activity thresholds T_{v,t} ~
+// U(0.2·b_v, 0.4·b_v) of Algorithm 1. Sharing one ThresholdFn between
+// Sequential and OneRoundMPC realizes the coupling used throughout Section
+// 3.6 (and experiment E11).
+type ThresholdFn func(v int32, t int) float64
+
+// NewThresholds draws an independent threshold table for rounds 1..T over
+// the problem's vertices and returns it as a ThresholdFn.
+func NewThresholds(p *Problem, T int, r *rng.RNG) ThresholdFn {
+	tab := make([][]float64, p.G.N)
+	for v := range tab {
+		row := make([]float64, T+1)
+		for t := 1; t <= T; t++ {
+			row[t] = r.Uniform(0.2*p.B[v], 0.4*p.B[v])
+		}
+		tab[v] = row
+	}
+	b := p.B
+	return func(v int32, t int) float64 {
+		if t < len(tab[v]) {
+			return tab[v][t]
+		}
+		// Beyond the pre-drawn horizon (only reachable if callers ask for
+		// more rounds than they declared): fall back to the interval midpoint.
+		return 0.3 * b[v]
+	}
+}
+
+// FixedThresholds returns the ablation threshold rule T_{v,t} = c·b_v
+// (experiment E11 uses c = 0.5, the variant described in the introduction).
+func FixedThresholds(p *Problem, c float64) ThresholdFn {
+	return func(v int32, t int) float64 { return c * p.B[v] }
+}
+
+// Sequential runs Algorithm 1 for T rounds and returns the resulting
+// fractional solution x. thresholds may be nil, in which case a fresh
+// threshold table is drawn from r.
+//
+// By Lemma 3.4 the result is LP-feasible with Σ_{e∈E(v)} x_e ≤ 0.8·b_v, and
+// by Lemma 3.5 |E_loose(x, 0.2)| ≤ 5|E|/2^T.
+func (p *Problem) Sequential(T int, thresholds ThresholdFn, r *rng.RNG) []float64 {
+	if thresholds == nil {
+		thresholds = NewThresholds(p, T, r)
+	}
+	g := p.G
+	x := p.InitialValues(g.AvgDeg())
+	active := make([]bool, g.N) // V_t^active
+	for v := range active {
+		active[v] = true
+	}
+	y := make([]float64, g.N)
+	for t := 1; t <= T; t++ {
+		// y_{v,t-1} = Σ_{e∈E(v)} x_{e,t-1}
+		for v := range y {
+			y[v] = 0
+		}
+		for e, xe := range x {
+			ed := g.Edges[e]
+			y[ed.U] += xe
+			y[ed.V] += xe
+		}
+		// V_t^active = {v ∈ V_{t-1}^active : y_{v,t-1} ≤ T_{v,t}}
+		for v := int32(0); int(v) < g.N; v++ {
+			if active[v] && y[v] > thresholds(v, t) {
+				active[v] = false
+			}
+		}
+		// E_t^active = edges between active vertices with x ≤ r/2; double them.
+		for e := range x {
+			ed := g.Edges[e]
+			if active[ed.U] && active[ed.V] && x[e] <= p.R[e]/2 {
+				x[e] *= 2
+			}
+		}
+	}
+	return x
+}
+
+// TightRounds returns ⌈log2(5m+1)⌉, the number of Sequential rounds that
+// guarantees a 0.2-tight solution (Theorem 3.6).
+func TightRounds(m int) int {
+	if m <= 0 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(5*m + 1))))
+}

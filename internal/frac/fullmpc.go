@@ -1,0 +1,133 @@
+// FullMPC (Algorithm 3): the complete O(log log d̄)-round driver. Each
+// while-loop iteration runs one round-compression step (Algorithm 2) on the
+// still-active subgraph with the remaining capacities, or — once the active
+// subgraph is small — finishes with the sequential process (Algorithm 1,
+// Theorem 3.6). The loop invariant (Lemma 3.15) is that the accumulated x
+// stays LP-feasible, and on termination it is 0.05-tight.
+package frac
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// IterStat records one while-loop iteration of FullMPC for the experiment
+// series (E2 round counts, E6 degree decay).
+type IterStat struct {
+	ActiveEdges  int     // |E_active| at the start of the iteration
+	AvgActiveDeg float64 // 2|E_active|/n
+	UsedMPC      bool    // round-compression step vs sequential finish
+	SimRounds    int     // MPC rounds consumed by this iteration
+	T            int     // locally simulated iterations (MPC branch)
+}
+
+// FullResult is the output of FullMPC.
+type FullResult struct {
+	X               []float64  // feasible 0.05-tight solution
+	Iterations      int        // while-loop iterations (compression steps)
+	MPCSteps        int        // iterations that used OneRoundMPC
+	SequentialSteps int        // iterations that used Sequential
+	TotalSimRounds  int        // total MPC communication rounds
+	MaxMachineEdges int        // max edges resident on one machine (Lemma 3.28)
+	History         []IterStat // per-iteration series
+	Converged       bool       // E_active became empty within MaxIterations
+}
+
+// FullMPC runs Algorithm 3 and returns the accumulated fractional solution
+// together with the round/memory measurements. On return, if Converged is
+// true the solution is 0.05-tight (Lemma 3.15).
+func (p *Problem) FullMPC(params MPCParams, r *rng.RNG) *FullResult {
+	g := p.G
+	n, m := g.N, g.M()
+	res := &FullResult{X: make([]float64, m)}
+	if m == 0 {
+		res.Converged = true
+		return res
+	}
+
+	active := make([]int32, m)
+	for e := range active {
+		active[e] = int32(e)
+	}
+	switchBelow := params.SwitchFactor * float64(n) * math.Log2(float64(n)+2)
+	stallStreak := 0
+
+	for iter := 0; iter < params.MaxIterations && len(active) > 0; iter++ {
+		res.Iterations++
+		stat := IterStat{
+			ActiveEdges:  len(active),
+			AvgActiveDeg: 2 * float64(len(active)) / float64(n),
+		}
+
+		// Remaining capacities w.r.t. the accumulated solution (lines 6-7).
+		y := p.VertexSums(res.X)
+		bRem := make([]float64, n)
+		for v := 0; v < n; v++ {
+			bRem[v] = math.Max(0, p.B[v]-y[v])
+		}
+		sub, orig := g.Subgraph(active)
+		rRem := make([]float64, len(orig))
+		for i, e := range orig {
+			rRem[i] = math.Max(0, p.R[e]-res.X[e])
+		}
+		subProb, err := NewProblem(sub, bRem, rRem)
+		if err != nil {
+			panic(err) // capacities are clamped non-negative; unreachable
+		}
+
+		// Branch (line 8): round compression while the active subgraph is
+		// large, sequential otherwise. A stall guard forces the sequential
+		// finish if the randomized step repeatedly fails to shrink E_active
+		// (the paper gets the same effect from its "good iteration with
+		// probability ≥ 1/2" argument).
+		useMPC := float64(len(active)) >= switchBelow && stallStreak < 3
+		var xPrime []float64
+		if useMPC {
+			or := subProb.OneRoundMPC(params, nil, r.Split())
+			xPrime = or.X
+			stat.UsedMPC = true
+			stat.SimRounds = or.Stats.Rounds
+			stat.T = or.T
+			res.MPCSteps++
+			res.TotalSimRounds += or.Stats.Rounds
+			if or.MaxMachineEdges > res.MaxMachineEdges {
+				res.MaxMachineEdges = or.MaxMachineEdges
+			}
+		} else {
+			xPrime = subProb.Sequential(TightRounds(len(active)), nil, r.Split())
+			res.SequentialSteps++
+			res.TotalSimRounds++ // one simulated machine-local round
+		}
+
+		// Accumulate (line 13).
+		for i, e := range orig {
+			res.X[e] += xPrime[i]
+		}
+
+		// E_active ← E_active ∩ E_loose(x, 0.05) (line 14), with looseness
+		// measured against the ORIGINAL capacities.
+		active = p.intersectLoose(active, res.X, 0.05)
+		if len(active) >= stat.ActiveEdges {
+			stallStreak++
+		} else {
+			stallStreak = 0
+		}
+		res.History = append(res.History, stat)
+	}
+	res.Converged = len(active) == 0
+	return res
+}
+
+// intersectLoose returns the members of active that lie in E_loose(x, α).
+func (p *Problem) intersectLoose(active []int32, x []float64, alpha float64) []int32 {
+	y := p.VertexSums(x)
+	out := active[:0]
+	for _, e := range active {
+		ed := p.G.Edges[e]
+		if x[e] < alpha*p.R[e] && y[ed.U] < alpha*p.B[ed.U] && y[ed.V] < alpha*p.B[ed.V] {
+			out = append(out, e)
+		}
+	}
+	return out
+}

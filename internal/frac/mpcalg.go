@@ -1,0 +1,401 @@
+// OneRoundMPC (Algorithm 2): one round-compression step, executed on the
+// MPC simulator. Vertices are randomly partitioned across N = ⌈√d̄⌉
+// machines; each machine locally simulates T = ⌊log2(N)/divisor⌋ iterations
+// of the idealized process on its induced subgraph, using the estimate
+// ỹ_v = N·Σ_{e ∈ E_local(v)} x̃_e in place of the true incident sum; then a
+// constant number of communication rounds computes the final edge values
+// and zeroes out edges incident to "bad" vertices (those whose true sum
+// exceeds b_v), which restores feasibility (Theorem 3.14).
+package frac
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/mpc"
+	"repro/internal/rng"
+)
+
+// MPCParams are the knobs of the round-compression step. The zero value is
+// invalid; use PaperParams or PracticalParams.
+type MPCParams struct {
+	// TDivisor sets T = ⌊log2(N)/TDivisor⌋. The paper uses 1000, chosen for
+	// the concentration proofs; at laptop scale that always yields T = 0.
+	TDivisor float64
+	// MinT is a floor on T ("practical mode"). 0 reproduces the paper
+	// formula verbatim.
+	MinT int
+	// MaxT caps T when positive.
+	MaxT int
+	// SwitchFactor: FullMPC switches to the sequential solver when the
+	// active subgraph has fewer than SwitchFactor·n·log2(n) edges. The paper
+	// uses n·log^10(n); that regime is unreachable at laptop scale (see
+	// DESIGN.md), so the factor is a knob with default 1 (i.e. n·log n).
+	SwitchFactor float64
+	// MaxIterations bounds the FullMPC while-loop (safety net; the paper
+	// proves O(log log d̄) iterations suffice with constant probability).
+	MaxIterations int
+	// InitNoClamp selects the ablated initialization q_v = 0.8·b_v/deg(v)
+	// instead of the paper's q_v = 0.8·b_v/max(d̄, deg(v)). The paper warns
+	// (Section 1.4) that the unclamped rule gives low-degree vertices edge
+	// values too large for accurate estimates; experiment E10 measures it.
+	InitNoClamp bool
+}
+
+// PaperParams returns the constants exactly as in the paper (TDivisor 1000),
+// with the documented laptop-scale switch threshold.
+func PaperParams() MPCParams {
+	return MPCParams{TDivisor: 1000, SwitchFactor: 1, MaxIterations: 200}
+}
+
+// PracticalParams returns the practical-mode constants used by the
+// experiments: T = max(1, ⌊log2(N)/2⌋), same algorithm otherwise.
+func PracticalParams() MPCParams {
+	return MPCParams{TDivisor: 2, MinT: 1, SwitchFactor: 1, MaxIterations: 200}
+}
+
+func (p MPCParams) pickT(n int) int {
+	t := int(math.Floor(math.Log2(float64(n)) / p.TDivisor))
+	if t < p.MinT {
+		t = p.MinT
+	}
+	if p.MaxT > 0 && t > p.MaxT {
+		t = p.MaxT
+	}
+	return t
+}
+
+// OneRoundResult carries the output of a compression step together with the
+// simulator's measurements.
+type OneRoundResult struct {
+	X               []float64 // feasible fractional solution x̃
+	N               int       // number of random partitions ⌈√d̄⌉
+	T               int       // locally simulated iterations
+	Machines        int       // machines in the simulation
+	MaxMachineEdges int       // Lemma 3.28 observable: max edges on a machine
+	Stats           mpc.Stats
+}
+
+type vertActive struct {
+	V    int32
+	Last int32 // largest t with v ∈ Ṽ_t^active
+}
+
+type vertSum struct {
+	V   int32
+	Sum float64
+}
+
+// OneRoundMPC executes Algorithm 2 on the MPC simulator. thresholds may be
+// nil (a fresh table is drawn). The returned x̃ is always LP-feasible.
+func (p *Problem) OneRoundMPC(params MPCParams, thresholds ThresholdFn, r *rng.RNG) *OneRoundResult {
+	g := p.G
+	n, m := g.N, g.M()
+	if m == 0 {
+		return &OneRoundResult{X: make([]float64, 0), N: 1, Machines: 1}
+	}
+	davg := g.AvgDeg()
+	N := int(math.Ceil(math.Sqrt(davg)))
+	if N < 2 {
+		N = 2
+	}
+	T := params.pickT(N)
+	if thresholds == nil {
+		thresholds = NewThresholds(p, T, r)
+	}
+	var x0 []float64
+	if params.InitNoClamp {
+		x0 = p.InitialValuesUnclamped()
+	} else {
+		x0 = p.InitialValues(davg)
+	}
+
+	// Random vertex partition (line 3 of Algorithm 2).
+	iv := make([]int32, n)
+	for v := range iv {
+		iv[v] = int32(r.Intn(N))
+	}
+
+	// Machine layout: the first N machines host the induced subgraphs; the
+	// cluster is sized so that total memory O(m+n) spreads into O(n)-word
+	// machines.
+	mtot := N
+	if extra := (m + n - 1) / maxInt(n, 1); extra > mtot {
+		mtot = extra
+	}
+	sim := mpc.NewSim(mtot)
+
+	// Input layout (arbitrary initial distribution, as the model allows):
+	// edge e starts at machine e mod mtot.
+	startEdges := make([][]int32, mtot)
+	for e := 0; e < m; e++ {
+		h := e % mtot
+		startEdges[h] = append(startEdges[h], int32(e))
+	}
+
+	// holder[e]: machine that computes x̃_e after the shuffle. Induced edges
+	// move to their partition's machine; crossing edges stay at their start.
+	holder := make([]int32, m)
+	induced := make([]bool, m)
+	for e := 0; e < m; e++ {
+		ed := g.Edges[e]
+		if iv[ed.U] == iv[ed.V] {
+			holder[e] = iv[ed.U]
+			induced[e] = true
+		} else {
+			holder[e] = int32(e % mtot)
+		}
+	}
+
+	// vertexToHolders[v]: machines holding an edge incident to v, deduped
+	// with a timestamp array so the whole pass is O(m).
+	vertexToHolders := make([][]int32, n)
+	{
+		stamp := make([]int, mtot)
+		for i := range stamp {
+			stamp[i] = -1
+		}
+		for v := 0; v < n; v++ {
+			for _, e := range g.Incident(int32(v)) {
+				h := int(holder[e])
+				if stamp[h] != v {
+					stamp[h] = v
+					vertexToHolders[v] = append(vertexToHolders[v], int32(h))
+				}
+			}
+		}
+	}
+
+	// partitionVertices[i]: vertices assigned to partition i.
+	partitionVertices := make([][]int32, N)
+	for v := 0; v < n; v++ {
+		partitionVertices[iv[v]] = append(partitionVertices[iv[v]], int32(v))
+	}
+
+	// vertexHome[v]: machine aggregating v's true incident sum.
+	vertexHome := func(v int32) int { return int(v) % mtot }
+
+	// Shared result arrays; each machine writes only slots it owns, so
+	// concurrent writes are race-free.
+	lastActive := make([]int32, n)
+	xFinal := make([]float64, m)
+
+	// ---- Round 1: shuffle induced edges to their partition machines. ----
+	inducedAt := sim.Exchange(func(mm *mpc.Machine) {
+		mine := startEdges[mm.ID]
+		mm.Charge(int64(len(mine)))
+		sent := int64(0)
+		for _, e := range mine {
+			if induced[e] {
+				mm.Send(int(holder[e]), int64(e), e, 1)
+				sent++
+			}
+		}
+		mm.Release(sent)
+	})
+
+	// heldEdges[i]: edges machine i computes x̃ for.
+	heldEdges := make([][]int32, mtot)
+	for i := 0; i < mtot; i++ {
+		for _, msg := range inducedAt[i] {
+			heldEdges[i] = append(heldEdges[i], msg.Payload.(int32))
+		}
+		for _, e := range startEdges[i] {
+			if !induced[e] {
+				heldEdges[i] = append(heldEdges[i], e)
+			}
+		}
+	}
+	maxMachineEdges := 0
+	for i := 0; i < mtot; i++ {
+		if len(heldEdges[i]) > maxMachineEdges {
+			maxMachineEdges = len(heldEdges[i])
+		}
+	}
+
+	// ---- Round 2: local simulation of T iterations on each induced
+	// subgraph, then scatter lastActive to edge holders. ----
+	activeMsgs := sim.Exchange(func(mm *mpc.Machine) {
+		if mm.ID >= N {
+			return
+		}
+		verts := partitionVertices[mm.ID]
+		// Local induced edges and adjacency (edge ids into local slice).
+		var localEdges []int32
+		for _, e := range heldEdges[mm.ID] {
+			if induced[e] && int(holder[e]) == mm.ID {
+				localEdges = append(localEdges, e)
+			}
+		}
+		mm.Charge(int64(len(localEdges) + len(verts)))
+		adj := make(map[int32][]int32, len(verts))
+		for _, e := range localEdges {
+			ed := g.Edges[e]
+			adj[ed.U] = append(adj[ed.U], e)
+			adj[ed.V] = append(adj[ed.V], e)
+		}
+		xv := make(map[int32]float64, len(localEdges))
+		for _, e := range localEdges {
+			xv[e] = x0[e]
+		}
+		act := make(map[int32]bool, len(verts))
+		for _, v := range verts {
+			act[v] = true
+			lastActive[v] = 0
+		}
+		for t := 1; t <= T; t++ {
+			// ỹ_{v,t-1} = N · Σ_{e∈E_local(v)} x̃_{e,t-1}
+			for _, v := range verts {
+				if !act[v] {
+					continue
+				}
+				var sum float64
+				for _, e := range adj[v] {
+					sum += xv[e]
+				}
+				if float64(N)*sum > thresholds(v, t) {
+					act[v] = false
+				} else {
+					lastActive[v] = int32(t)
+				}
+			}
+			for _, e := range localEdges {
+				ed := g.Edges[e]
+				if act[ed.U] && act[ed.V] && xv[e] <= p.R[e]/2 {
+					xv[e] *= 2
+				}
+			}
+		}
+		// Scatter activity horizons to the machines that need them, batched
+		// per destination.
+		perDest := make(map[int32][]vertActive)
+		for _, v := range verts {
+			for _, h := range vertexToHolders[v] {
+				perDest[h] = append(perDest[h], vertActive{V: v, Last: lastActive[v]})
+			}
+		}
+		for d := 0; d < mtot; d++ {
+			if batch, ok := perDest[int32(d)]; ok {
+				mm.Send(d, 0, batch, int64(len(batch)))
+			}
+		}
+	})
+
+	// ---- Round 3: edge holders compute x̃_{e,T} and scatter per-vertex
+	// partial sums to vertex homes. ----
+	sumMsgs := sim.Exchange(func(mm *mpc.Machine) {
+		last := make(map[int32]int32)
+		for _, msg := range activeMsgs[mm.ID] {
+			for _, va := range msg.Payload.([]vertActive) {
+				last[va.V] = va.Last
+			}
+		}
+		partial := make(map[int32]float64)
+		for _, e := range heldEdges[mm.ID] {
+			ed := g.Edges[e]
+			horizon := minInt32(last[ed.U], last[ed.V])
+			cur := x0[e]
+			for t := int32(1); t <= horizon; t++ {
+				if cur <= p.R[e]/2 {
+					cur *= 2
+				} else {
+					break
+				}
+			}
+			xFinal[e] = cur
+			partial[ed.U] += cur
+			partial[ed.V] += cur
+		}
+		// Batches are built and sent in sorted vertex order so that the
+		// destination's floating-point accumulation order is deterministic.
+		verts := make([]int32, 0, len(partial))
+		for v := range partial {
+			verts = append(verts, v)
+		}
+		sortInt32(verts)
+		perDest := make(map[int][]vertSum)
+		for _, v := range verts {
+			perDest[vertexHome(v)] = append(perDest[vertexHome(v)], vertSum{V: v, Sum: partial[v]})
+		}
+		for d := 0; d < mtot; d++ {
+			if batch, ok := perDest[d]; ok {
+				mm.Send(d, int64(mm.ID), batch, int64(len(batch)))
+			}
+		}
+	})
+
+	// ---- Round 4: vertex homes detect bad vertices and notify holders. ----
+	badMsgs := sim.Exchange(func(mm *mpc.Machine) {
+		total := make(map[int32]float64)
+		for _, msg := range sumMsgs[mm.ID] {
+			for _, vs := range msg.Payload.([]vertSum) {
+				total[vs.V] += vs.Sum
+			}
+		}
+		const tol = 1e-9
+		badVerts := make([]int32, 0)
+		for v, s := range total {
+			if s > p.B[v]*(1+tol)+tol {
+				badVerts = append(badVerts, v)
+			}
+		}
+		sortInt32(badVerts)
+		perDest := make(map[int32][]int32)
+		for _, v := range badVerts {
+			for _, h := range vertexToHolders[v] {
+				perDest[h] = append(perDest[h], v)
+			}
+		}
+		for d := 0; d < mtot; d++ {
+			if batch, ok := perDest[int32(d)]; ok {
+				mm.Send(d, int64(mm.ID), batch, int64(len(batch)))
+			}
+		}
+	})
+
+	// ---- Round 5: holders zero out edges incident to bad vertices. ----
+	sim.Round(func(mm *mpc.Machine) {
+		bad := make(map[int32]bool)
+		for _, msg := range badMsgs[mm.ID] {
+			for _, v := range msg.Payload.([]int32) {
+				bad[v] = true
+			}
+		}
+		if len(bad) == 0 {
+			return
+		}
+		for _, e := range heldEdges[mm.ID] {
+			ed := g.Edges[e]
+			if bad[ed.U] || bad[ed.V] {
+				xFinal[e] = 0
+			}
+		}
+	})
+
+	return &OneRoundResult{
+		X:               xFinal,
+		N:               N,
+		T:               T,
+		Machines:        mtot,
+		MaxMachineEdges: maxMachineEdges,
+		Stats:           sim.Stats(),
+	}
+}
+
+func sortInt32(s []int32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}

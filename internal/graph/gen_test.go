@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestCoreFringeStructure(t *testing.T) {
+	r := rng.New(1)
+	g := CoreFringe(100, 2000, 400, 200, r)
+	if g.N != 500 {
+		t.Fatalf("n = %d", g.N)
+	}
+	if g.M() != 2200 {
+		t.Fatalf("m = %d", g.M())
+	}
+	core, fringe := 0, 0
+	for _, e := range g.Edges {
+		switch {
+		case e.U < 100 && e.V < 100:
+			core++
+		case e.U >= 100 && e.V >= 100:
+			fringe++
+		default:
+			t.Fatal("core-fringe crossing edge")
+		}
+	}
+	if core != 2000 || fringe != 200 {
+		t.Fatalf("core=%d fringe=%d", core, fringe)
+	}
+}
+
+func TestCoreFringeLooseRegime(t *testing.T) {
+	// The generator's purpose: fringe vertices have degree ≪ d̄, so their
+	// initial values are clamped by the average degree.
+	r := rng.New(2)
+	g := CoreFringe(200, 200*50, 600, 300, r)
+	d := g.AvgDeg()
+	lowDeg := 0
+	for v := 200; v < g.N; v++ {
+		if float64(g.Deg(int32(v))) < d/4 {
+			lowDeg++
+		}
+	}
+	if lowDeg < 500 {
+		t.Fatalf("only %d fringe vertices below d̄/4 — regime not established", lowDeg)
+	}
+}
+
+// Parallel edges form a multigraph; b-matching is well-defined on
+// multigraphs (each parallel copy counts separately against budgets) and
+// the whole stack accepts them.
+func TestParallelEdgesSupported(t *testing.T) {
+	g, err := New(2, []Edge{{U: 0, V: 1, W: 1}, {U: 0, V: 1, W: 2}})
+	if err != nil {
+		t.Fatalf("parallel edges rejected: %v", err)
+	}
+	if g.Deg(0) != 2 || g.Deg(1) != 2 {
+		t.Fatal("multigraph degrees wrong")
+	}
+}
+
+func TestGnmZeroEdges(t *testing.T) {
+	g := Gnm(10, 0, rng.New(3))
+	if g.M() != 0 || g.AvgDeg() != 0 {
+		t.Fatal("empty Gnm wrong")
+	}
+}
+
+func TestStarSingleton(t *testing.T) {
+	g := Star(1)
+	if g.M() != 0 || g.N != 1 {
+		t.Fatal("Star(1) should be a single vertex")
+	}
+}
+
+func TestChungLuSmallN(t *testing.T) {
+	// The large-n sampling path (n > 3000).
+	g := ChungLu(4000, 8000, 2.5, rng.New(4))
+	if g.N != 4000 {
+		t.Fatal("n wrong")
+	}
+	if g.M() == 0 {
+		t.Fatal("no edges sampled")
+	}
+	seen := map[uint64]bool{}
+	for _, e := range g.Edges {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		k := uint64(u)<<32 | uint64(v)
+		if seen[k] {
+			t.Fatal("duplicate edge in large-n ChungLu")
+		}
+		seen[k] = true
+	}
+}
+
+func TestChungLuBetaClamped(t *testing.T) {
+	// beta ≤ 2 is clamped rather than producing a degenerate distribution.
+	g := ChungLu(100, 300, 1.5, rng.New(5))
+	if g.N != 100 {
+		t.Fatal("clamped beta broke generation")
+	}
+}

@@ -1,0 +1,289 @@
+// Package graph provides the graph substrate shared by all algorithms in
+// this repository: an undirected (optionally weighted) graph with integer
+// vertex ids, per-vertex b-matching budgets, and the workload generators
+// used by the experiments.
+//
+// Representation: edges are stored once in a flat slice, and a CSR-style
+// adjacency index maps each vertex to the ids of its incident edges. All
+// algorithms address edges by their index in Edges, which makes fractional
+// values (x ∈ R^E) plain float64 slices.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Edge is an undirected edge {U,V} with weight W. For unweighted problems
+// W is 1. Self-loops are not allowed.
+type Edge struct {
+	U, V int32
+	W    float64
+}
+
+// Other returns the endpoint of e different from v.
+func (e Edge) Other(v int32) int32 {
+	if e.U == v {
+		return e.V
+	}
+	return e.U
+}
+
+// Has reports whether v is an endpoint of e.
+func (e Edge) Has(v int32) bool { return e.U == v || e.V == v }
+
+// Graph is an undirected graph on vertices 0..N-1.
+type Graph struct {
+	N     int
+	Edges []Edge
+
+	// adjStart/adjEdges form a CSR index: the incident edge ids of vertex v
+	// are adjEdges[adjStart[v]:adjStart[v+1]]. Built by Finalize.
+	adjStart []int32
+	adjEdges []int32
+}
+
+// New returns a graph with n vertices and the given edges. The adjacency
+// index is built immediately. It returns an error if any edge is a
+// self-loop, has an endpoint out of range, or has a negative weight.
+func New(n int, edges []Edge) (*Graph, error) {
+	g := &Graph{N: n, Edges: edges}
+	for i, e := range edges {
+		if e.U == e.V {
+			return nil, fmt.Errorf("graph: edge %d is a self-loop at vertex %d", i, e.U)
+		}
+		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+			return nil, fmt.Errorf("graph: edge %d = {%d,%d} out of range for n=%d", i, e.U, e.V, n)
+		}
+		if e.W < 0 || math.IsNaN(e.W) || math.IsInf(e.W, 0) {
+			return nil, fmt.Errorf("graph: edge %d has invalid weight %v", i, e.W)
+		}
+	}
+	g.buildAdj()
+	return g, nil
+}
+
+// MustNew is New that panics on error; for use in tests and generators that
+// construct edges known to be valid.
+func MustNew(n int, edges []Edge) *Graph {
+	g, err := New(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func (g *Graph) buildAdj() {
+	deg := make([]int32, g.N+1)
+	for _, e := range g.Edges {
+		deg[e.U+1]++
+		deg[e.V+1]++
+	}
+	for v := 0; v < g.N; v++ {
+		deg[v+1] += deg[v]
+	}
+	g.adjStart = deg
+	g.adjEdges = make([]int32, 2*len(g.Edges))
+	fill := make([]int32, g.N)
+	for i, e := range g.Edges {
+		g.adjEdges[g.adjStart[e.U]+fill[e.U]] = int32(i)
+		fill[e.U]++
+		g.adjEdges[g.adjStart[e.V]+fill[e.V]] = int32(i)
+		fill[e.V]++
+	}
+}
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.Edges) }
+
+// Deg returns the degree of vertex v.
+func (g *Graph) Deg(v int32) int {
+	return int(g.adjStart[v+1] - g.adjStart[v])
+}
+
+// Incident returns the edge ids incident to v. The returned slice aliases
+// internal storage and must not be modified.
+func (g *Graph) Incident(v int32) []int32 {
+	return g.adjEdges[g.adjStart[v]:g.adjStart[v+1]]
+}
+
+// AvgDeg returns the average degree d̄ = 2m/n. For an empty vertex set it
+// returns 0.
+func (g *Graph) AvgDeg() float64 {
+	if g.N == 0 {
+		return 0
+	}
+	return 2 * float64(len(g.Edges)) / float64(g.N)
+}
+
+// MaxDeg returns the maximum degree Δ.
+func (g *Graph) MaxDeg() int {
+	max := 0
+	for v := 0; v < g.N; v++ {
+		if d := g.Deg(int32(v)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() float64 {
+	var s float64
+	for _, e := range g.Edges {
+		s += e.W
+	}
+	return s
+}
+
+// IsBipartite reports whether the graph is bipartite, and if so returns a
+// 2-coloring side[v] ∈ {0,1}. Used by the exact flow-based comparators.
+func (g *Graph) IsBipartite() (side []int8, ok bool) {
+	side = make([]int8, g.N)
+	for i := range side {
+		side[i] = -1
+	}
+	queue := make([]int32, 0, g.N)
+	for s := int32(0); int(s) < g.N; s++ {
+		if side[s] != -1 {
+			continue
+		}
+		side[s] = 0
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, ei := range g.Incident(v) {
+				u := g.Edges[ei].Other(v)
+				if side[u] == -1 {
+					side[u] = 1 - side[v]
+					queue = append(queue, u)
+				} else if side[u] == side[v] {
+					return nil, false
+				}
+			}
+		}
+	}
+	return side, true
+}
+
+// InducedEdgeCount returns the number of edges with both endpoints in the
+// vertex set marked by in. Used to measure per-machine load (Lemma 3.28).
+func (g *Graph) InducedEdgeCount(in []bool) int {
+	c := 0
+	for _, e := range g.Edges {
+		if in[e.U] && in[e.V] {
+			c++
+		}
+	}
+	return c
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	edges := make([]Edge, len(g.Edges))
+	copy(edges, g.Edges)
+	return MustNew(g.N, edges)
+}
+
+// Subgraph returns the graph restricted to the edge ids in keep (weights and
+// vertex set preserved), together with the mapping from new edge ids to the
+// original edge ids.
+func (g *Graph) Subgraph(keep []int32) (*Graph, []int32) {
+	edges := make([]Edge, len(keep))
+	orig := make([]int32, len(keep))
+	for i, ei := range keep {
+		edges[i] = g.Edges[ei]
+		orig[i] = ei
+	}
+	return MustNew(g.N, edges), orig
+}
+
+// Budgets is a per-vertex b-matching budget vector. Budgets[v] = bᵥ ≥ 0.
+type Budgets []int
+
+// UniformBudgets returns the budget vector with bᵥ = b for every vertex.
+func UniformBudgets(n, b int) Budgets {
+	out := make(Budgets, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+// Sum returns Σᵥ bᵥ, the B parameter of the streaming bounds.
+func (b Budgets) Sum() int {
+	s := 0
+	for _, x := range b {
+		s += x
+	}
+	return s
+}
+
+// Max returns the largest budget.
+func (b Budgets) Max() int {
+	m := 0
+	for _, x := range b {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Validate checks that budgets are non-negative and sized for g.
+func (b Budgets) Validate(g *Graph) error {
+	if len(b) != g.N {
+		return fmt.Errorf("graph: budgets length %d != n %d", len(b), g.N)
+	}
+	for v, x := range b {
+		if x < 0 {
+			return fmt.Errorf("graph: negative budget b[%d] = %d", v, x)
+		}
+	}
+	return nil
+}
+
+// Floats converts budgets to the real-valued b ∈ R^V used by the fractional
+// LP algorithms of Section 3, which accept arbitrary non-negative reals.
+func (b Budgets) Floats() []float64 {
+	out := make([]float64, len(b))
+	for i, x := range b {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// DegreeCappedBudgets returns min(bᵥ, deg(v)) for every v. A b-matching can
+// never use more than deg(v) edges at v, so capping is loss-free and keeps
+// Σbᵥ meaningful on sparse graphs.
+func DegreeCappedBudgets(g *Graph, b Budgets) Budgets {
+	out := make(Budgets, g.N)
+	for v := range out {
+		d := g.Deg(int32(v))
+		if b[v] < d {
+			out[v] = b[v]
+		} else {
+			out[v] = d
+		}
+	}
+	return out
+}
+
+// SortEdgesByWeightDesc returns edge ids sorted by descending weight,
+// breaking ties by id for determinism.
+func SortEdgesByWeightDesc(g *Graph) []int32 {
+	ids := make([]int32, len(g.Edges))
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		wi, wj := g.Edges[ids[i]].W, g.Edges[ids[j]].W
+		if wi != wj {
+			return wi > wj
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}

@@ -1,0 +1,179 @@
+// Package graphio reads and writes graphs and budget vectors in a simple
+// line-oriented text format, so instances can be exchanged with other tools
+// and experiments can be rerun on fixed inputs.
+//
+// Format:
+//
+//	# comments and blank lines are ignored
+//	n <vertices>
+//	b <v> <budget>          (optional; budgets default to 1)
+//	e <u> <v> [weight]      (weight defaults to 1)
+//
+// A bare first line containing just an integer is also accepted as the
+// vertex count, for compatibility with plain edge lists.
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Write serializes g and b (b may be nil).
+func Write(w io.Writer, g *graph.Graph, b graph.Budgets) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "n %d\n", g.N)
+	if b != nil {
+		for v, x := range b {
+			if x != 1 {
+				fmt.Fprintf(bw, "b %d %d\n", v, x)
+			}
+		}
+	}
+	for _, e := range g.Edges {
+		if e.W == 1 {
+			fmt.Fprintf(bw, "e %d %d\n", e.U, e.V)
+		} else {
+			fmt.Fprintf(bw, "e %d %d %g\n", e.U, e.V, e.W)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a graph and budgets. Budgets default to 1 for every vertex.
+func Read(r io.Reader) (*graph.Graph, graph.Budgets, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var (
+		n      = -1
+		edges  []graph.Edge
+		budges map[int]int
+		line   int
+	)
+	budges = map[int]int{}
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "n":
+			if len(fields) != 2 {
+				return nil, nil, fmt.Errorf("graphio: line %d: want 'n <count>'", line)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v < 0 {
+				return nil, nil, fmt.Errorf("graphio: line %d: bad vertex count %q", line, fields[1])
+			}
+			n = v
+		case "b":
+			if len(fields) != 3 {
+				return nil, nil, fmt.Errorf("graphio: line %d: want 'b <v> <budget>'", line)
+			}
+			v, err1 := strconv.Atoi(fields[1])
+			x, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, nil, fmt.Errorf("graphio: line %d: bad budget line", line)
+			}
+			budges[v] = x
+		case "e":
+			if len(fields) < 3 || len(fields) > 4 {
+				return nil, nil, fmt.Errorf("graphio: line %d: want 'e <u> <v> [w]'", line)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, nil, fmt.Errorf("graphio: line %d: bad endpoints", line)
+			}
+			w := 1.0
+			if len(fields) == 4 {
+				var err error
+				w, err = strconv.ParseFloat(fields[3], 64)
+				if err != nil {
+					return nil, nil, fmt.Errorf("graphio: line %d: bad weight %q", line, fields[3])
+				}
+			}
+			edges = append(edges, graph.Edge{U: int32(u), V: int32(v), W: w})
+		default:
+			// Compatibility: a bare integer first line is the vertex count;
+			// bare "u v [w]" lines are edges.
+			if n < 0 && len(fields) == 1 {
+				v, err := strconv.Atoi(fields[0])
+				if err != nil {
+					return nil, nil, fmt.Errorf("graphio: line %d: unrecognized %q", line, text)
+				}
+				n = v
+				continue
+			}
+			if len(fields) == 2 || len(fields) == 3 {
+				u, err1 := strconv.Atoi(fields[0])
+				v, err2 := strconv.Atoi(fields[1])
+				if err1 != nil || err2 != nil {
+					return nil, nil, fmt.Errorf("graphio: line %d: unrecognized %q", line, text)
+				}
+				w := 1.0
+				if len(fields) == 3 {
+					var err error
+					w, err = strconv.ParseFloat(fields[2], 64)
+					if err != nil {
+						return nil, nil, fmt.Errorf("graphio: line %d: bad weight", line)
+					}
+				}
+				edges = append(edges, graph.Edge{U: int32(u), V: int32(v), W: w})
+				continue
+			}
+			return nil, nil, fmt.Errorf("graphio: line %d: unrecognized %q", line, text)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if n < 0 {
+		return nil, nil, fmt.Errorf("graphio: missing vertex count")
+	}
+	g, err := graph.New(n, edges)
+	if err != nil {
+		return nil, nil, err
+	}
+	b := graph.UniformBudgets(n, 1)
+	for v, x := range budges {
+		if v < 0 || v >= n {
+			return nil, nil, fmt.Errorf("graphio: budget for out-of-range vertex %d", v)
+		}
+		b[v] = x
+	}
+	if err := b.Validate(g); err != nil {
+		return nil, nil, err
+	}
+	return g, b, nil
+}
+
+// WriteFile writes g and b to path.
+func WriteFile(path string, g *graph.Graph, b graph.Budgets) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Write(f, g, b); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a graph and budgets from path.
+func ReadFile(path string) (*graph.Graph, graph.Budgets, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

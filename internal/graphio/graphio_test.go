@@ -1,0 +1,98 @@
+package graphio
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	g := graph.GnmWeighted(30, 90, 0.5, 5, r.Split())
+	b := graph.RandomBudgets(30, 1, 4, r.Split())
+	var buf bytes.Buffer
+	if err := Write(&buf, g, b); err != nil {
+		t.Fatal(err)
+	}
+	g2, b2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N != g.N || g2.M() != g.M() {
+		t.Fatalf("dimensions changed: %d/%d vs %d/%d", g2.N, g2.M(), g.N, g.M())
+	}
+	for e := range g.Edges {
+		if g.Edges[e] != g2.Edges[e] {
+			t.Fatalf("edge %d changed: %v vs %v", e, g.Edges[e], g2.Edges[e])
+		}
+	}
+	for v := range b {
+		if b[v] != b2[v] {
+			t.Fatalf("budget %d changed: %d vs %d", v, b[v], b2[v])
+		}
+	}
+}
+
+func TestReadBareFormat(t *testing.T) {
+	in := "4\n0 1\n1 2 2.5\n# comment\n\n2 3\n"
+	g, b, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 4 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d", g.N, g.M())
+	}
+	if g.Edges[1].W != 2.5 {
+		t.Fatalf("weight = %v", g.Edges[1].W)
+	}
+	for _, x := range b {
+		if x != 1 {
+			t.Fatal("default budgets wrong")
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",                   // no vertex count
+		"n 3\ne 0 9",         // endpoint out of range
+		"n 3\ne 0 0",         // self-loop
+		"n 3\nb 9 2\ne 0 1",  // budget out of range
+		"n 3\ne 0 1 abc",     // bad weight
+		"n x",                // bad count
+		"n 3\nwhat is this",  // garbage
+		"n 3\nb 0 -2\ne 0 1", // negative budget
+	}
+	for i, in := range cases {
+		if _, _, err := Read(strings.NewReader(in)); err == nil {
+			t.Fatalf("case %d accepted: %q", i, in)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	g := graph.Path(5)
+	b := graph.UniformBudgets(5, 2)
+	if err := WriteFile(path, g, b); err != nil {
+		t.Fatal(err)
+	}
+	g2, b2, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.M() != 4 || b2.Sum() != 10 {
+		t.Fatalf("file round trip: m=%d Σb=%d", g2.M(), b2.Sum())
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, _, err := ReadFile("/nonexistent/path/graph.txt"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

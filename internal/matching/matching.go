@@ -1,0 +1,174 @@
+// Package matching provides the b-matching data type (Definition 2.1 of the
+// paper), free-vertex queries (Definition 2.4), alternating-walk application
+// (Definition 5.2), and gain computation (Definition 5.3). All algorithms in
+// this repository produce or transform values of this type.
+package matching
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// BMatching is a set of edge ids of a graph such that every vertex v has at
+// most bᵥ incident edges in the set. It maintains per-vertex matched degrees
+// incrementally, so feasibility checks are O(1) per edge operation.
+type BMatching struct {
+	g   *graph.Graph
+	b   graph.Budgets
+	in  []bool // in[e] — is edge e in the matching
+	deg []int  // deg[v] — matched degree of v
+	sz  int
+	wt  float64
+}
+
+// New returns an empty b-matching over g with budgets b.
+func New(g *graph.Graph, b graph.Budgets) (*BMatching, error) {
+	if err := b.Validate(g); err != nil {
+		return nil, err
+	}
+	return &BMatching{
+		g:   g,
+		b:   b,
+		in:  make([]bool, g.M()),
+		deg: make([]int, g.N),
+	}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(g *graph.Graph, b graph.Budgets) *BMatching {
+	m, err := New(g, b)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Graph returns the underlying graph.
+func (m *BMatching) Graph() *graph.Graph { return m.g }
+
+// Budgets returns the budget vector.
+func (m *BMatching) Budgets() graph.Budgets { return m.b }
+
+// Size returns |M|, the number of matched edges.
+func (m *BMatching) Size() int { return m.sz }
+
+// Weight returns the total weight of matched edges.
+func (m *BMatching) Weight() float64 { return m.wt }
+
+// Contains reports whether edge e is matched.
+func (m *BMatching) Contains(e int32) bool { return m.in[e] }
+
+// MatchedDeg returns the number of matched edges incident to v.
+func (m *BMatching) MatchedDeg(v int32) int { return m.deg[v] }
+
+// Free reports whether v is free with respect to M (Definition 2.4):
+// its matched degree is strictly below its budget.
+func (m *BMatching) Free(v int32) bool { return m.deg[v] < m.b[v] }
+
+// Residual returns bᵥ minus the matched degree of v.
+func (m *BMatching) Residual(v int32) int { return m.b[v] - m.deg[v] }
+
+// CanAdd reports whether edge e can be added without violating either
+// endpoint's budget (and is not already matched).
+func (m *BMatching) CanAdd(e int32) bool {
+	if m.in[e] {
+		return false
+	}
+	ed := m.g.Edges[e]
+	return m.deg[ed.U] < m.b[ed.U] && m.deg[ed.V] < m.b[ed.V]
+}
+
+// Add inserts edge e. It returns an error if e is already matched or either
+// endpoint is at budget.
+func (m *BMatching) Add(e int32) error {
+	if m.in[e] {
+		return fmt.Errorf("matching: edge %d already matched", e)
+	}
+	ed := m.g.Edges[e]
+	if m.deg[ed.U] >= m.b[ed.U] {
+		return fmt.Errorf("matching: vertex %d at budget %d", ed.U, m.b[ed.U])
+	}
+	if m.deg[ed.V] >= m.b[ed.V] {
+		return fmt.Errorf("matching: vertex %d at budget %d", ed.V, m.b[ed.V])
+	}
+	m.in[e] = true
+	m.deg[ed.U]++
+	m.deg[ed.V]++
+	m.sz++
+	m.wt += ed.W
+	return nil
+}
+
+// Remove deletes edge e. It returns an error if e is not matched.
+func (m *BMatching) Remove(e int32) error {
+	if !m.in[e] {
+		return fmt.Errorf("matching: edge %d not matched", e)
+	}
+	ed := m.g.Edges[e]
+	m.in[e] = false
+	m.deg[ed.U]--
+	m.deg[ed.V]--
+	m.sz--
+	m.wt -= ed.W
+	return nil
+}
+
+// Edges returns the matched edge ids in increasing order.
+func (m *BMatching) Edges() []int32 {
+	out := make([]int32, 0, m.sz)
+	for e := range m.in {
+		if m.in[e] {
+			out = append(out, int32(e))
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy sharing the graph and budgets.
+func (m *BMatching) Clone() *BMatching {
+	c := &BMatching{
+		g:   m.g,
+		b:   m.b,
+		in:  make([]bool, len(m.in)),
+		deg: make([]int, len(m.deg)),
+		sz:  m.sz,
+		wt:  m.wt,
+	}
+	copy(c.in, m.in)
+	copy(c.deg, m.deg)
+	return c
+}
+
+// Validate re-derives all cached state from scratch and checks the
+// b-matching constraints. Tests call it after every mutation sequence.
+func (m *BMatching) Validate() error {
+	deg := make([]int, m.g.N)
+	sz := 0
+	var wt float64
+	for e, in := range m.in {
+		if !in {
+			continue
+		}
+		ed := m.g.Edges[e]
+		deg[ed.U]++
+		deg[ed.V]++
+		sz++
+		wt += ed.W
+	}
+	for v := 0; v < m.g.N; v++ {
+		if deg[v] > m.b[v] {
+			return fmt.Errorf("matching: vertex %d has matched degree %d > budget %d", v, deg[v], m.b[v])
+		}
+		if deg[v] != m.deg[v] {
+			return fmt.Errorf("matching: vertex %d cached degree %d != actual %d", v, m.deg[v], deg[v])
+		}
+	}
+	if sz != m.sz {
+		return fmt.Errorf("matching: cached size %d != actual %d", m.sz, sz)
+	}
+	if diff := wt - m.wt; diff > 1e-9 || diff < -1e-9 {
+		return fmt.Errorf("matching: cached weight %v != actual %v", m.wt, wt)
+	}
+	return nil
+}

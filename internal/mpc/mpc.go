@@ -1,0 +1,212 @@
+// Package mpc is a round-synchronous simulator of the Massively Parallel
+// Computation model (Section 1.1 of the paper). Algorithms written against
+// it execute in supersteps: in each round every machine runs local
+// computation in parallel (one goroutine per machine, gated by a worker
+// pool) and exchanges messages; the simulator enforces determinism and
+// accounts rounds, per-machine memory, and communication volume.
+//
+// The observables of the MPC model — round count, local memory S, global
+// memory M·S — are exactly what the simulator measures, so the experiment
+// tables report real measurements rather than formula evaluations.
+package mpc
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Message is a unit of communication. Words is its size in machine words,
+// the unit of the MPC memory bounds.
+type Message struct {
+	From, To int
+	Key      int64 // routing/deterministic-ordering key chosen by the sender
+	Payload  any
+	Words    int64
+}
+
+// Stats aggregates the model's observables over a simulation.
+type Stats struct {
+	Rounds          int   // communication rounds executed
+	MaxMachineWords int64 // high-water mark of words resident on any machine
+	MaxRoundIO      int64 // max words sent+received by one machine in one round
+	TotalTraffic    int64 // total words communicated
+}
+
+// Sim is a simulator instance. Create with NewSim; a Sim is not safe for
+// concurrent use by multiple top-level algorithms, but machine callbacks
+// within a round run in parallel.
+type Sim struct {
+	n       int
+	workers int
+	stats   Stats
+	inbox   [][]Message // messages delivered at the start of the current round
+
+	resident []int64 // per-machine resident words, maintained via Charge/Release
+}
+
+// NewSim returns a simulator with n machines. Worker parallelism defaults to
+// GOMAXPROCS.
+func NewSim(n int) *Sim {
+	if n < 1 {
+		panic("mpc: need at least one machine")
+	}
+	return &Sim{
+		n:        n,
+		workers:  runtime.GOMAXPROCS(0),
+		inbox:    make([][]Message, n),
+		resident: make([]int64, n),
+	}
+}
+
+// Machines returns the number of machines.
+func (s *Sim) Machines() int { return s.n }
+
+// Stats returns the accumulated observables.
+func (s *Sim) Stats() Stats { return s.stats }
+
+// Machine is the per-machine view passed to round callbacks.
+type Machine struct {
+	ID  int
+	sim *Sim
+
+	recv []Message // inbox for this round
+	sent []Message // outbox, delivered next round
+
+	sentWords int64
+	seq       int64
+}
+
+// Recv returns the messages delivered to this machine this round, in a
+// deterministic order (sorted by sender, then key, then send order).
+func (m *Machine) Recv() []Message { return m.recv }
+
+// Send queues a message for delivery at the start of the next round.
+func (m *Machine) Send(to int, key int64, payload any, words int64) {
+	if to < 0 || to >= m.sim.n {
+		panic(fmt.Sprintf("mpc: send to machine %d out of range [0,%d)", to, m.sim.n))
+	}
+	if words < 0 {
+		panic("mpc: negative message size")
+	}
+	m.sent = append(m.sent, Message{From: m.ID, To: to, Key: key, Payload: payload, Words: words})
+	m.sentWords += words
+	m.seq++
+}
+
+// Charge records words of data becoming resident on this machine (input
+// shards, local state). Used for the local-memory high-water experiments.
+func (m *Machine) Charge(words int64) {
+	m.sim.resident[m.ID] += words
+}
+
+// Release records words of resident data being freed.
+func (m *Machine) Release(words int64) {
+	m.sim.resident[m.ID] -= words
+	if m.sim.resident[m.ID] < 0 {
+		m.sim.resident[m.ID] = 0
+	}
+}
+
+// Round executes one superstep: fn runs for every machine in parallel, then
+// queued messages are delivered. It returns after delivery, with all
+// accounting updated.
+func (s *Sim) Round(fn func(m *Machine)) {
+	machines := make([]*Machine, s.n)
+	for i := range machines {
+		machines[i] = &Machine{ID: i, sim: s, recv: s.inbox[i]}
+	}
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, s.workers)
+	panics := make(chan any, s.n)
+	for i := range machines {
+		wg.Add(1)
+		go func(m *Machine) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			defer func() {
+				if r := recover(); r != nil {
+					panics <- r
+				}
+			}()
+			fn(m)
+		}(machines[i])
+	}
+	wg.Wait()
+	select {
+	case p := <-panics:
+		// Re-panic in the caller's goroutine so machine failures are
+		// observable (and testable) like ordinary panics.
+		panic(p)
+	default:
+	}
+
+	// Deliver: group by destination; deterministic order independent of
+	// goroutine scheduling because each sender's outbox is already ordered
+	// and we merge senders by id.
+	next := make([][]Message, s.n)
+	var recvWords = make([]int64, s.n)
+	for _, m := range machines {
+		for _, msg := range m.sent {
+			next[msg.To] = append(next[msg.To], msg)
+			recvWords[msg.To] += msg.Words
+			s.stats.TotalTraffic += msg.Words
+		}
+	}
+	for to := range next {
+		msgs := next[to]
+		sort.SliceStable(msgs, func(i, j int) bool {
+			if msgs[i].From != msgs[j].From {
+				return msgs[i].From < msgs[j].From
+			}
+			return msgs[i].Key < msgs[j].Key
+		})
+	}
+
+	// Accounting: IO per machine this round; resident high-water including
+	// the inbox it must hold.
+	for i, m := range machines {
+		io := m.sentWords + recvWords[i]
+		if io > s.stats.MaxRoundIO {
+			s.stats.MaxRoundIO = io
+		}
+		res := s.resident[i] + recvWords[i]
+		if res > s.stats.MaxMachineWords {
+			s.stats.MaxMachineWords = res
+		}
+	}
+
+	s.inbox = next
+	s.stats.Rounds++
+}
+
+// Exchange runs one superstep like Round and additionally returns the
+// delivered messages per machine, consuming them (the next round's inboxes
+// start empty). This lets multi-step primitives process a round's output
+// without paying an extra bookkeeping round.
+func (s *Sim) Exchange(fn func(m *Machine)) [][]Message {
+	s.Round(fn)
+	out := s.inbox
+	s.inbox = make([][]Message, s.n)
+	return out
+}
+
+// ChargeRounds records k extra rounds spent in a primitive that is modeled
+// rather than simulated message-by-message (for example the GSZ11
+// constant-round sort when invoked on data already resident locally).
+func (s *Sim) ChargeRounds(k int) { s.stats.Rounds += k }
+
+// ResidentHighWater returns the current maximum resident words across
+// machines (excluding undelivered traffic).
+func (s *Sim) ResidentHighWater() int64 {
+	var max int64
+	for _, r := range s.resident {
+		if r > max {
+			max = r
+		}
+	}
+	return max
+}

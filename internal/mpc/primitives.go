@@ -1,0 +1,216 @@
+// Constant-round MPC primitives in the style of Goodrich–Sitchinava–Zhang
+// (GSZ11), which the paper invokes for sorting, prefix sums, and search
+// trees (Lemma 4.7). Each primitive is built from Sim rounds, so its round
+// cost shows up in the simulator's accounting.
+package mpc
+
+import (
+	"math"
+	"sort"
+)
+
+// PrefixSums computes exclusive global prefix sums over per-machine value
+// slices: machine i holds vals[i], and the result off[i][j] is the sum of
+// all values on machines < i plus vals[i][:j]. It costs 2 rounds (local
+// totals to a coordinator, offsets back), matching the O(1)-round GSZ11
+// bound.
+func PrefixSums(s *Sim, vals [][]int64) [][]int64 {
+	n := s.Machines()
+	// Round 1: every machine reports its local total to machine 0.
+	byCoord := s.Exchange(func(m *Machine) {
+		var total int64
+		for _, v := range vals[m.ID] {
+			total += v
+		}
+		m.Send(0, int64(m.ID), total, 1)
+	})
+	// Round 2: machine 0 computes exclusive machine offsets and scatters.
+	totals := make([]int64, n)
+	for _, msg := range byCoord[0] {
+		totals[msg.From] = msg.Payload.(int64)
+	}
+	offsets := s.Exchange(func(m *Machine) {
+		if m.ID != 0 {
+			return
+		}
+		var acc int64
+		for i := 0; i < n; i++ {
+			m.Send(i, 0, acc, 1)
+			acc += totals[i]
+		}
+	})
+	// Finish locally (no communication).
+	out := make([][]int64, n)
+	for i := 0; i < n; i++ {
+		var base int64
+		for _, msg := range offsets[i] {
+			base = msg.Payload.(int64)
+		}
+		local := make([]int64, len(vals[i]))
+		acc := base
+		for j, v := range vals[i] {
+			local[j] = acc
+			acc += v
+		}
+		out[i] = local
+	}
+	return out
+}
+
+// Shuffle routes items to machines in one round: machine i starts with
+// items[i], and each item is sent to dest(item). It returns the per-machine
+// received items in deterministic (sender, key) order. words(item) gives
+// each item's size for the accounting.
+func Shuffle[T any](s *Sim, items [][]T, dest func(T) int, key func(T) int64, words func(T) int64) [][]T {
+	delivered := s.Exchange(func(m *Machine) {
+		for _, it := range items[m.ID] {
+			m.Send(dest(it), key(it), it, words(it))
+		}
+	})
+	out := make([][]T, s.Machines())
+	for i, msgs := range delivered {
+		local := make([]T, 0, len(msgs))
+		for _, msg := range msgs {
+			local = append(local, msg.Payload.(T))
+		}
+		out[i] = local
+	}
+	return out
+}
+
+// SearchInt64 answers membership/predecessor queries against a distributed
+// sorted sequence (the GSZ11 "search tree" of Lemma 4.7): machine i holds
+// the sorted range shards[i] (as produced by SortInt64), queries start
+// distributed round-robin, are routed to the owning range in one round
+// using broadcast boundary keys, and answered locally. Each answer is the
+// largest value ≤ the query (or math.MinInt64 if none). Costs 2 rounds.
+func SearchInt64(s *Sim, shards [][]int64, queries []int64) []int64 {
+	n := s.Machines()
+	// Boundary keys of the non-empty shards, known driver-side (they were
+	// produced by a sort whose splitters the coordinator chose).
+	type boundary struct {
+		first int64
+		shard int
+	}
+	var bounds []boundary
+	for i, sh := range shards {
+		if len(sh) > 0 {
+			bounds = append(bounds, boundary{first: sh[0], shard: i})
+		}
+	}
+	type q struct {
+		Idx int32
+		Val int64
+	}
+	// Round 1: route each query to the last non-empty shard whose first
+	// element is ≤ the query (that shard holds the predecessor, if any).
+	routed := s.Exchange(func(m *Machine) {
+		for i, val := range queries {
+			if i%n != m.ID {
+				continue
+			}
+			pos := sort.Search(len(bounds), func(j int) bool { return bounds[j].first > val })
+			if pos == 0 {
+				continue // no predecessor anywhere
+			}
+			dst := bounds[pos-1].shard
+			m.Send(dst, int64(i), q{Idx: int32(i), Val: val}, 1)
+		}
+	})
+	// Round 2: owners binary-search locally and reply to the coordinator
+	// (which stands in for "whoever asked" — accounting is identical).
+	answers := make([]int64, len(queries))
+	for i := range answers {
+		answers[i] = math.MinInt64
+	}
+	replies := s.Exchange(func(m *Machine) {
+		sh := shards[m.ID]
+		for _, msg := range routed[m.ID] {
+			qq := msg.Payload.(q)
+			// The router guarantees sh[0] ≤ val, so pos ≥ 1 here.
+			pos := sort.Search(len(sh), func(j int) bool { return sh[j] > qq.Val })
+			ans := int64(math.MinInt64)
+			if pos > 0 {
+				ans = sh[pos-1]
+			}
+			m.Send(0, int64(qq.Idx), [2]int64{int64(qq.Idx), ans}, 2)
+		}
+	})
+	for _, msg := range replies[0] {
+		pair := msg.Payload.([2]int64)
+		answers[pair[0]] = pair[1]
+	}
+	return answers
+}
+
+// SortInt64 performs a distributed sort of per-machine int64 slices using
+// range partitioning (sample-sort): a coordinator gathers samples, picks
+// splitters, machines route values by range, and each machine sorts its
+// range locally. Costs 3 rounds, matching the GSZ11 O(1)-round sort. The
+// result is globally sorted across machines: machine 0 holds the smallest
+// range.
+func SortInt64(s *Sim, vals [][]int64) [][]int64 {
+	n := s.Machines()
+	const samplesPerMachine = 8
+
+	// Round 1: machines send local quantiles to the coordinator. The local
+	// copy is sorted first so the samples are true quantiles — evenly
+	// spaced raw positions can alias with periodic input layouts and yield
+	// splitters that miss entire key ranges.
+	atCoord := s.Exchange(func(m *Machine) {
+		if len(vals[m.ID]) == 0 {
+			return
+		}
+		local := append([]int64(nil), vals[m.ID]...)
+		sort.Slice(local, func(i, j int) bool { return local[i] < local[j] })
+		step := len(local)/samplesPerMachine + 1
+		for i := 0; i < len(local); i += step {
+			m.Send(0, local[i], local[i], 1)
+		}
+	})
+	samples := make([]int64, 0, len(atCoord[0]))
+	for _, msg := range atCoord[0] {
+		samples = append(samples, msg.Payload.(int64))
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+
+	// Round 2: coordinator broadcasts n-1 splitters.
+	sp := make([]int64, 0, n-1)
+	for i := 1; i < n && len(samples) > 0; i++ {
+		idx := i * len(samples) / n
+		if idx >= len(samples) {
+			idx = len(samples) - 1
+		}
+		sp = append(sp, samples[idx])
+	}
+	bcast := s.Exchange(func(m *Machine) {
+		if m.ID != 0 {
+			return
+		}
+		for i := 0; i < n; i++ {
+			m.Send(i, 0, sp, int64(len(sp)))
+		}
+	})
+	_ = bcast
+
+	// Round 3: route each value to its range owner; owners sort locally.
+	routed := s.Exchange(func(m *Machine) {
+		for _, v := range vals[m.ID] {
+			dst := sort.Search(len(sp), func(i int) bool { return sp[i] > v })
+			if dst >= n {
+				dst = n - 1
+			}
+			m.Send(dst, v, v, 1)
+		}
+	})
+	out := make([][]int64, n)
+	for i, msgs := range routed {
+		local := make([]int64, 0, len(msgs))
+		for _, msg := range msgs {
+			local = append(local, msg.Payload.(int64))
+		}
+		sort.Slice(local, func(a, b int) bool { return local[a] < local[b] })
+		out[i] = local
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+// One-pass greedy maximal b-matching: the streaming baseline (Section 4.6
+// uses it as the per-layer extension subroutine too). 2-approximate, one
+// pass, O(n + Σb_v) words.
+package stream
+
+import (
+	"repro/internal/graph"
+)
+
+// GreedyResult reports a streaming computation's output and costs.
+type GreedyResult struct {
+	EdgeIDs   []int32
+	Size      int
+	Weight    float64
+	Passes    int
+	PeakWords int64
+}
+
+// GreedyOnePass scans the stream once, keeping any edge whose endpoints
+// both have spare budget.
+func GreedyOnePass(s Stream, n int, b graph.Budgets) *GreedyResult {
+	var meter Meter
+	deg := make([]int, n)
+	meter.Charge(int64(n)) // degree counters
+
+	var kept []int32
+	var weight float64
+	s.Reset()
+	for {
+		id, e, ok := s.Next()
+		if !ok {
+			break
+		}
+		if deg[e.U] < b[e.U] && deg[e.V] < b[e.V] {
+			deg[e.U]++
+			deg[e.V]++
+			kept = append(kept, id)
+			weight += e.W
+			meter.Charge(3) // stored edge: endpoints + weight
+		}
+	}
+	return &GreedyResult{
+		EdgeIDs:   kept,
+		Size:      len(kept),
+		Weight:    weight,
+		Passes:    1,
+		PeakWords: meter.Peak(),
+	}
+}

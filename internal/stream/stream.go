@@ -1,0 +1,113 @@
+// Package stream implements the semi-streaming versions of the paper's
+// algorithms (Section 4.6 and the streaming claims of Theorems 4.1/5.1):
+//
+//   - a one-pass greedy maximal b-matching (2-approximate), and
+//   - multi-pass (1+ε) improvement for unweighted and weighted b-matchings,
+//     where the random orientation and layer of every unmatched edge is
+//     re-derived on each pass from a k-wise independent hash of the edge id
+//     (Theorem 4.8 / ABI86), so the algorithm never stores per-edge state —
+//     storing it directly would need O(m) ≫ O(Σb_v) words.
+//
+// All algorithms are written against the Stream interface and account every
+// retained word in a Meter, so the experiment tables report measured peak
+// memory against the Õ(Σb_v) bound.
+package stream
+
+import (
+	"repro/internal/graph"
+)
+
+// Stream is a read-only, resettable sequence of edges with stable ids.
+type Stream interface {
+	// Reset rewinds to the first edge (a new pass).
+	Reset()
+	// Next returns the next edge and its id, or ok=false at end of pass.
+	Next() (id int32, e graph.Edge, ok bool)
+	// Len returns the total number of edges (known a priori in our
+	// experiments; not used by the algorithms themselves).
+	Len() int
+}
+
+// SliceStream streams the edges of an in-memory graph in id order.
+type SliceStream struct {
+	g   *graph.Graph
+	pos int
+}
+
+// NewSliceStream returns a stream over g's edges.
+func NewSliceStream(g *graph.Graph) *SliceStream { return &SliceStream{g: g} }
+
+// Reset implements Stream.
+func (s *SliceStream) Reset() { s.pos = 0 }
+
+// Next implements Stream.
+func (s *SliceStream) Next() (int32, graph.Edge, bool) {
+	if s.pos >= len(s.g.Edges) {
+		return 0, graph.Edge{}, false
+	}
+	id := int32(s.pos)
+	e := s.g.Edges[s.pos]
+	s.pos++
+	return id, e, true
+}
+
+// Len implements Stream.
+func (s *SliceStream) Len() int { return len(s.g.Edges) }
+
+// PermutedStream streams edges in a fixed permuted order, for
+// order-robustness tests (streaming guarantees must not depend on arrival
+// order).
+type PermutedStream struct {
+	g    *graph.Graph
+	perm []int
+	pos  int
+}
+
+// NewPermutedStream returns a stream over g's edges in the order perm.
+func NewPermutedStream(g *graph.Graph, perm []int) *PermutedStream {
+	return &PermutedStream{g: g, perm: perm}
+}
+
+// Reset implements Stream.
+func (s *PermutedStream) Reset() { s.pos = 0 }
+
+// Next implements Stream.
+func (s *PermutedStream) Next() (int32, graph.Edge, bool) {
+	if s.pos >= len(s.perm) {
+		return 0, graph.Edge{}, false
+	}
+	id := int32(s.perm[s.pos])
+	e := s.g.Edges[id]
+	s.pos++
+	return id, e, true
+}
+
+// Len implements Stream.
+func (s *PermutedStream) Len() int { return len(s.perm) }
+
+// Meter tracks retained words and their peak.
+type Meter struct {
+	cur, peak int64
+}
+
+// Charge records w retained words.
+func (m *Meter) Charge(w int64) {
+	m.cur += w
+	if m.cur > m.peak {
+		m.peak = m.cur
+	}
+}
+
+// Release records w words freed.
+func (m *Meter) Release(w int64) {
+	m.cur -= w
+	if m.cur < 0 {
+		m.cur = 0
+	}
+}
+
+// Peak returns the high-water mark in words.
+func (m *Meter) Peak() int64 { return m.peak }
+
+// Current returns the currently retained words.
+func (m *Meter) Current() int64 { return m.cur }

@@ -1,0 +1,94 @@
+// Algorithm 4 (Alg-Extracting-Alternations): decompose an alternating walk
+// into even-length alternating cycles plus a single alternating path, with
+// no repeated edges in any component (Lemma 5.6). The growth procedure in
+// this package produces edge-simple walks by construction, but mapped walks
+// may revisit vertices; the decomposition both validates that structure and
+// lets Algorithm 5 pick the best-gain component of a self-intersecting
+// walk.
+package weighted
+
+import (
+	"fmt"
+
+	"repro/internal/matching"
+)
+
+// DecomposeWalk splits walk w into alternating components: zero or more
+// even-length cycles and at most one path. Every returned component is a
+// valid alternating walk with no repeated edges; their edge sets partition
+// w's edges. It returns an error if w itself repeats an edge or does not
+// alternate (which Step (III) rules out for walks produced here —
+// Lemma 5.6 (2)).
+func DecomposeWalk(w matching.Walk, m *matching.BMatching) ([]matching.Walk, error) {
+	if err := w.CheckAlternating(m); err != nil {
+		return nil, fmt.Errorf("weighted: decompose: %w", err)
+	}
+	verts, err := w.Vertices(m)
+	if err != nil {
+		return nil, err
+	}
+
+	var components []matching.Walk
+	// Stack of (vertex, edge-leading-here). lastAt[v] = stack index of the
+	// most recent occurrence of v.
+	type entry struct {
+		v    int32
+		edge int32 // edge from previous stack entry to v; -1 for the first
+	}
+	stack := []entry{{v: verts[0], edge: -1}}
+	lastAt := map[int32]int{verts[0]: 0}
+
+	for i, e := range w.EdgeIDs {
+		v := verts[i+1]
+		stack = append(stack, entry{v: v, edge: e})
+		if j, seen := lastAt[v]; seen {
+			// Edge count between occurrences:
+			cnt := len(stack) - 1 - j
+			if cnt%2 == 0 {
+				// Even revisit: cut out the alternating cycle.
+				ids := make([]int32, 0, cnt)
+				for _, en := range stack[j+1:] {
+					ids = append(ids, en.edge)
+				}
+				components = append(components, matching.Walk{EdgeIDs: ids, Start: v})
+				// Remove the cycle from the stack and rebuild lastAt (walks
+				// are O(1/ε) long, so the rebuild cost is negligible).
+				stack = stack[:j+1]
+				lastAt = make(map[int32]int, len(stack))
+				for idx, en := range stack {
+					lastAt[en.v] = idx
+				}
+				continue
+			}
+		}
+		lastAt[v] = len(stack) - 1
+	}
+	if len(stack) > 1 {
+		ids := make([]int32, 0, len(stack)-1)
+		for _, en := range stack[1:] {
+			ids = append(ids, en.edge)
+		}
+		components = append(components, matching.Walk{EdgeIDs: ids, Start: stack[0].v})
+	}
+	return components, nil
+}
+
+// BestComponent returns the component of w with the largest gain (Line 6 of
+// Algorithm 5), or nil if w has no components.
+func BestComponent(w matching.Walk, m *matching.BMatching) (*matching.Walk, error) {
+	comps, err := DecomposeWalk(w, m)
+	if err != nil {
+		return nil, err
+	}
+	if len(comps) == 0 {
+		return nil, nil
+	}
+	best := comps[0]
+	bestGain := best.Gain(m)
+	for _, c := range comps[1:] {
+		if g := c.Gain(m); g > bestGain {
+			best, bestGain = c, g
+		}
+	}
+	return &best, nil
+}
