@@ -6,6 +6,7 @@ package bmatch
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/augment"
@@ -46,11 +47,15 @@ func BenchmarkFullMPC(b *testing.B) {
 		r := rng.New(2)
 		g := graph.CoreFringe(nc, nc*coreDeg/2, nf, nf/2, r.Split())
 		p := frac.BMatchingProblem(g, graph.RandomBudgets(g.N, 1, 4, r.Split()))
-		b.Run(fmt.Sprintf("coreDeg=%d/m=%d", coreDeg, g.M()), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				p.FullMPC(frac.PracticalParams(), rng.New(int64(i)))
-			}
-		})
+		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+			params := frac.PracticalParams()
+			params.Workers = workers
+			b.Run(fmt.Sprintf("coreDeg=%d/m=%d/workers=%d", coreDeg, g.M(), workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					p.FullMPC(params, rng.New(int64(i)))
+				}
+			})
+		}
 	}
 }
 
@@ -119,23 +124,29 @@ func BenchmarkDegreeDrop(b *testing.B) {
 }
 
 // BenchmarkMachineLoad (E7): OneRoundMPC across densities — per-op time and
-// the reported per-machine load.
+// the reported per-machine load. The workers dimension exercises the
+// parallel delivery pipeline: results are identical for every worker
+// count, only wall-clock changes.
 func BenchmarkMachineLoad(b *testing.B) {
 	for _, m := range []int{16000, 64000} {
 		n := 1000
 		r := rng.New(7)
 		g := graph.Gnm(n, m, r.Split())
 		p := frac.BMatchingProblem(g, graph.UniformBudgets(n, 2))
-		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
-			maxLoad := 0
-			for i := 0; i < b.N; i++ {
-				res := p.OneRoundMPC(frac.PracticalParams(), nil, rng.New(int64(i)))
-				if res.MaxMachineEdges > maxLoad {
-					maxLoad = res.MaxMachineEdges
+		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+			params := frac.PracticalParams()
+			params.Workers = workers
+			b.Run(fmt.Sprintf("m=%d/workers=%d", m, workers), func(b *testing.B) {
+				maxLoad := 0
+				for i := 0; i < b.N; i++ {
+					res := p.OneRoundMPC(params, nil, rng.New(int64(i)))
+					if res.MaxMachineEdges > maxLoad {
+						maxLoad = res.MaxMachineEdges
+					}
 				}
-			}
-			b.ReportMetric(float64(maxLoad)/float64(n), "load/n")
-		})
+				b.ReportMetric(float64(maxLoad)/float64(n), "load/n")
+			})
+		}
 	}
 }
 

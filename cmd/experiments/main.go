@@ -31,9 +31,10 @@ import (
 )
 
 var (
-	runFlag   = flag.String("run", "", "comma-separated experiment ids (e.g. E1,E5); empty = all")
-	quickFlag = flag.Bool("quick", false, "smaller instance sizes")
-	seedFlag  = flag.Int64("seed", 1, "master seed")
+	runFlag     = flag.String("run", "", "comma-separated experiment ids (e.g. E1,E5); empty = all")
+	quickFlag   = flag.Bool("quick", false, "smaller instance sizes")
+	seedFlag    = flag.Int64("seed", 1, "master seed")
+	workersFlag = flag.Int("workers", 0, "worker goroutines for the MPC simulator and drivers (0 = GOMAXPROCS); results are identical for every value")
 )
 
 type experiment struct {
@@ -83,6 +84,25 @@ func main() {
 
 func masterRNG(salt int64) *rng.RNG { return rng.New(*seedFlag*1000003 + salt) }
 
+// mpcParams is PracticalParams with the -workers flag threaded through.
+func mpcParams() frac.MPCParams {
+	p := frac.PracticalParams()
+	p.Workers = *workersFlag
+	return p
+}
+
+func augParams(eps float64) augment.Params {
+	p := augment.DefaultParams(eps)
+	p.Workers = *workersFlag
+	return p
+}
+
+func weightedParams(eps float64) weighted.Params {
+	p := weighted.DefaultParams(eps)
+	p.Workers = *workersFlag
+	return p
+}
+
 func scale(full, quick int) int {
 	if *quickFlag {
 		return quick
@@ -131,7 +151,7 @@ func e2() {
 		r := masterRNG(int64(100 + coreDeg))
 		g := graph.CoreFringe(nc, nc*coreDeg/2, nf, nf/2, r.Split())
 		p := frac.BMatchingProblem(g, graph.RandomBudgets(g.N, 1, 4, r.Split()))
-		full := p.FullMPC(frac.PracticalParams(), r.Split())
+		full := p.FullMPC(mpcParams(), r.Split())
 		base := baseline.Uncompressed(p, r.Split())
 		d := g.AvgDeg()
 		ll := math.Log2(math.Log2(d + 2))
@@ -157,7 +177,7 @@ func e3() {
 		r := masterRNG(200)
 		g := graph.Gnm(10, 20, r.Split())
 		b := graph.RandomBudgets(10, 1, 3, r.Split())
-		res, err := core.ConstApprox(g, b, frac.PracticalParams(), r.Split())
+		res, err := core.ConstApprox(g, b, mpcParams(), r.Split())
 		check(err)
 		opt, _ := exact.BruteForce(g, b)
 		report("small general (exact)", res.M, float64(opt))
@@ -168,7 +188,7 @@ func e3() {
 		nl := scale(300, 80)
 		g := graph.Bipartite(nl, nl, nl*8, r.Split())
 		b := graph.RandomBudgets(2*nl, 1, 4, r.Split())
-		res, err := core.ConstApprox(g, b, frac.PracticalParams(), r.Split())
+		res, err := core.ConstApprox(g, b, mpcParams(), r.Split())
 		check(err)
 		opt, err := exact.MaxBipartite(g, b)
 		check(err)
@@ -180,7 +200,7 @@ func e3() {
 		n := scale(3000, 800)
 		g := graph.Gnm(n, n*16, r.Split())
 		b := graph.RandomBudgets(n, 1, 4, r.Split())
-		res, err := core.ConstApprox(g, b, frac.PracticalParams(), r.Split())
+		res, err := core.ConstApprox(g, b, mpcParams(), r.Split())
 		check(err)
 		report("large general (dual bd)", res.M, res.DualBound)
 	}
@@ -188,7 +208,7 @@ func e3() {
 	{
 		r := masterRNG(203)
 		g, b := graph.ClientServer(scale(2000, 400), 50, 5, 3, 30, r.Split())
-		res, err := core.ConstApprox(g, b, frac.PracticalParams(), r.Split())
+		res, err := core.ConstApprox(g, b, mpcParams(), r.Split())
 		check(err)
 		report("client-server (dual bd)", res.M, res.DualBound)
 	}
@@ -198,7 +218,7 @@ func e3() {
 		n := scale(1500, 400)
 		g := graph.ChungLu(n, n*6, 2.3, r.Split())
 		b := graph.RandomBudgets(n, 1, 3, r.Split())
-		res, err := core.ConstApprox(g, b, frac.PracticalParams(), r.Split())
+		res, err := core.ConstApprox(g, b, mpcParams(), r.Split())
 		check(err)
 		report("power-law (dual bd)", res.M, res.DualBound)
 	}
@@ -219,7 +239,7 @@ func e4() {
 	opt, err := exact.MaxBipartite(g, b)
 	check(err)
 	for _, eps := range []float64{1, 0.5, 0.25, 0.125} {
-		res, err := augment.OnePlusEps(g, b, nil, augment.DefaultParams(eps), r.Split())
+		res, err := augment.OnePlusEps(g, b, nil, augParams(eps), r.Split())
 		check(err)
 		ratio := float64(res.M.Size()) / float64(opt)
 		fmt.Printf("%-22s %6.3f | %8d %8d %10.4f %8v\n",
@@ -231,7 +251,7 @@ func e4() {
 	b2 := graph.RandomBudgets(11, 1, 3, r2.Split())
 	opt2, _ := exact.BruteForce(g2, b2)
 	for _, eps := range []float64{1, 0.5, 0.25} {
-		res, err := augment.OnePlusEps(g2, b2, nil, augment.DefaultParams(eps), r2.Split())
+		res, err := augment.OnePlusEps(g2, b2, nil, augParams(eps), r2.Split())
 		check(err)
 		ratio := float64(res.M.Size()) / float64(opt2)
 		fmt.Printf("%-22s %6.3f | %8d %8d %10.4f %8v\n",
@@ -252,7 +272,7 @@ func e5() {
 	optW, err := exact.MaxWeightBipartite(g, b)
 	check(err)
 	for _, eps := range []float64{1, 0.5, 0.25} {
-		res, err := weighted.OnePlusEpsWeighted(g, b, nil, weighted.DefaultParams(eps), r.Split())
+		res, err := weighted.OnePlusEpsWeighted(g, b, nil, weightedParams(eps), r.Split())
 		check(err)
 		ratio := res.M.Weight() / optW
 		fmt.Printf("%-22s %6.3f | %10.1f %10.1f %10.4f %8v\n",
@@ -263,7 +283,7 @@ func e5() {
 	b2 := graph.RandomBudgets(10, 1, 2, r2.Split())
 	_, optW2 := exact.BruteForce(g2, b2)
 	for _, eps := range []float64{1, 0.5, 0.25} {
-		res, err := weighted.OnePlusEpsWeighted(g2, b2, nil, weighted.DefaultParams(eps), r2.Split())
+		res, err := weighted.OnePlusEpsWeighted(g2, b2, nil, weightedParams(eps), r2.Split())
 		check(err)
 		ratio := res.M.Weight() / optW2
 		fmt.Printf("%-22s %6.3f | %10.1f %10.1f %10.4f %8v\n",
@@ -284,7 +304,7 @@ func e6() {
 	r := masterRNG(500)
 	g := graph.CoreFringe(nc, nc*d/2, nf, nf/2, r.Split())
 	p := frac.BMatchingProblem(g, graph.RandomBudgets(g.N, 1, 3, r.Split()))
-	res := p.FullMPC(frac.PracticalParams(), r.Split())
+	res := p.FullMPC(mpcParams(), r.Split())
 	fmt.Printf("%6s | %12s %14s %8s\n", "step", "active edges", "avg active deg", "mode")
 	for i, it := range res.History {
 		mode := "seq"
@@ -308,7 +328,7 @@ func e7() {
 		r := masterRNG(int64(600 + n + m))
 		g := graph.Gnm(n, m, r.Split())
 		p := frac.BMatchingProblem(g, graph.UniformBudgets(n, 2))
-		res := p.OneRoundMPC(frac.PracticalParams(), nil, r.Split())
+		res := p.OneRoundMPC(mpcParams(), nil, r.Split())
 		fmt.Printf("%8d %10d %6d | %14d %10d %12.2f\n",
 			n, m, res.N, res.MaxMachineEdges, n, float64(res.MaxMachineEdges)/float64(n))
 	}
@@ -368,7 +388,7 @@ func e9() {
 		}
 		_, gatherWords := baseline.GatherConflictResolution(walks, m)
 		machines := 16
-		_, stats := weighted.ResolveWithinMPC(cands, m, machines)
+		_, stats := weighted.ResolveWithinMPCWorkers(cands, m, machines, *workersFlag)
 		fmt.Printf("%8d %8d | %14d %16d %9.1fx\n",
 			b.Sum(), len(walks), gatherWords, stats.MaxMachineWords,
 			float64(gatherWords)/float64(stats.MaxMachineWords))
@@ -387,7 +407,7 @@ func e10() {
 	p := frac.BMatchingProblem(g, graph.UniformBudgets(n, 2))
 	fmt.Printf("%-14s | %12s %16s %12s\n", "init rule", "|E_loose|", "mean |ŷ-y|/b", "bad verts")
 	for _, noClamp := range []bool{false, true} {
-		params := frac.PracticalParams()
+		params := mpcParams()
 		params.InitNoClamp = noClamp
 		rr := rng.New(4242) // identical randomness for both rules
 		T := 4
@@ -429,7 +449,7 @@ func e11() {
 	fmt.Printf("%-18s | %16s %14s\n", "threshold rule", "mean |ŷ-y|/b", "diverged verts")
 	for _, fixed := range []bool{false, true} {
 		rr := rng.New(777)
-		params := frac.PracticalParams()
+		params := mpcParams()
 		var th frac.ThresholdFn
 		if fixed {
 			th = frac.FixedThresholds(p, 0.5)

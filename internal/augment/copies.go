@@ -96,11 +96,18 @@ func AssignSlots(m *matching.BMatching) SlotAssignment {
 // with O(n^δ)-sized shards; the returned stats let experiment tests verify
 // the round count.
 func AssignSlotsMPC(m *matching.BMatching, machines int) (SlotAssignment, mpc.Stats) {
+	return AssignSlotsMPCWorkers(m, machines, 0)
+}
+
+// AssignSlotsMPCWorkers is AssignSlotsMPC with an explicit worker-pool
+// width for the simulator (0 = GOMAXPROCS). The assignment and stats are
+// identical for every worker count.
+func AssignSlotsMPCWorkers(m *matching.BMatching, machines, workers int) (SlotAssignment, mpc.Stats) {
 	g := m.Graph()
 	if machines < 2 {
 		machines = 2
 	}
-	sim := mpc.NewSim(machines)
+	sim := mpc.NewSimWithWorkers(machines, workers)
 
 	// Build (vertex, edge) pairs for matched edges; initial layout is
 	// arbitrary (pair p starts at machine p mod machines).

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/matching"
+	"repro/internal/mpc"
 	"repro/internal/rng"
 )
 
@@ -35,6 +36,13 @@ type Params struct {
 	StallSweeps int
 	// MaxSweeps bounds total sweeps (default 200).
 	MaxSweeps int
+	// Workers is the worker-pool width for speculative instance
+	// generation; 0 selects GOMAXPROCS. Tries are built and grown in
+	// parallel against the current matching and their walks applied in try
+	// order; a try whose speculation raced an earlier application is
+	// replayed serially from the same RNG seeds, so the result is
+	// bit-for-bit identical to the serial driver for every worker count.
+	Workers int
 }
 
 // DefaultParams returns practical defaults for the given ε.
@@ -108,16 +116,13 @@ func OnePlusEps(g *graph.Graph, b graph.Budgets, initial *matching.BMatching, pa
 		res.Sweeps++
 		appliedThisSweep := 0
 		for k := 1; k <= K; k++ {
-			for try := 0; try < retries; try++ {
-				L := BuildLayered(m, k, r.Split())
-				applied, err := L.GrowAndApply(r.Split())
-				if err != nil {
-					return nil, err
-				}
-				appliedThisSweep += applied
-				res.Instances++
-				res.EstMPCRounds += k + 1
+			applied, err := runTries(m, k, retries, params.Workers, r)
+			if err != nil {
+				return nil, err
 			}
+			appliedThisSweep += applied
+			res.Instances += retries
+			res.EstMPCRounds += retries * (k + 1)
 		}
 		// Applying walks can open room for plain edge additions; keep the
 		// matching maximal between sweeps.
@@ -141,6 +146,52 @@ func OnePlusEps(g *graph.Graph, b graph.Budgets, initial *matching.BMatching, pa
 	}
 	res.SizeEnd = m.Size()
 	return res, nil
+}
+
+// runTries executes retries independent layered-instance tries for walk
+// length k, applying found walks to m. Tries are speculatively built and
+// grown in parallel waves against the unchanged matching (Grow reads m but
+// mutates only instance-local state); walks are then applied strictly in
+// try order. Once a try in a wave applies a walk, the matching has
+// diverged from what the later speculations saw, so those tries are
+// replayed serially from the same reserved RNG seeds — making the output
+// identical to the serial driver for every worker count. Walks dry up in
+// the steady state, so the common case is a fully clean wave.
+func runTries(m *matching.BMatching, k, retries, workers int, r *rng.RNG) (int, error) {
+	type try struct {
+		seedB, seedG int64
+		walks        []matching.Walk
+	}
+	wave := min(mpc.PoolSize(workers)*4, retries)
+	applied := 0
+	for base := 0; base < retries; base += wave {
+		tries := make([]try, min(wave, retries-base))
+		for i := range tries {
+			tries[i].seedB, tries[i].seedG = r.Reserve(), r.Reserve()
+		}
+		mpc.ParallelFor(workers, len(tries), func(i int) {
+			L := BuildLayered(m, k, rng.New(tries[i].seedB))
+			tries[i].walks = L.Grow(rng.New(tries[i].seedG))
+		})
+		clean := true
+		for i := range tries {
+			ws := tries[i].walks
+			if !clean {
+				L := BuildLayered(m, k, rng.New(tries[i].seedB))
+				ws = L.Grow(rng.New(tries[i].seedG))
+			}
+			for _, wk := range ws {
+				if err := wk.Apply(m); err != nil {
+					return applied, err
+				}
+				applied++
+			}
+			if len(ws) > 0 {
+				clean = false
+			}
+		}
+	}
+	return applied, nil
 }
 
 // greedyFill adds any addable edge (maximality).

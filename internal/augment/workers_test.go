@@ -1,0 +1,65 @@
+package augment
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/rng"
+)
+
+// TestOnePlusEpsDeterministicAcrossWorkers: the speculative parallel
+// instance generation must replay raced tries from the same RNG seeds, so
+// the driver's output is identical for every worker count.
+func TestOnePlusEpsDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) *Result {
+		r := rng.New(7)
+		g := graph.Bipartite(40, 40, 360, r.Split())
+		b := graph.RandomBudgets(80, 1, 3, r.Split())
+		params := DefaultParams(0.5)
+		params.Workers = workers
+		res, err := OnePlusEps(g, b, nil, params, r.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(1)
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		got := run(workers)
+		if got.SizeEnd != ref.SizeEnd || got.WalksApplied != ref.WalksApplied ||
+			got.Sweeps != ref.Sweeps || got.Instances != ref.Instances ||
+			got.EstMPCRounds != ref.EstMPCRounds {
+			t.Fatalf("workers=%d diverged: got {size %d walks %d sweeps %d inst %d rounds %d}, "+
+				"want {size %d walks %d sweeps %d inst %d rounds %d}",
+				workers, got.SizeEnd, got.WalksApplied, got.Sweeps, got.Instances, got.EstMPCRounds,
+				ref.SizeEnd, ref.WalksApplied, ref.Sweeps, ref.Instances, ref.EstMPCRounds)
+		}
+		for e := 0; e < ref.M.Graph().M(); e++ {
+			if got.M.Contains(int32(e)) != ref.M.Contains(int32(e)) {
+				t.Fatalf("workers=%d: matching diverged at edge %d", workers, e)
+			}
+		}
+	}
+}
+
+// TestAssignSlotsMPCWorkersMatches: the explicit-workers variant agrees
+// with the default for assignment and stats.
+func TestAssignSlotsMPCWorkersMatches(t *testing.T) {
+	r := rng.New(11)
+	g := graph.Gnm(60, 400, r.Split())
+	b := graph.RandomBudgets(60, 1, 3, r.Split())
+	m := matching.MustNew(g, b)
+	greedyFill(m)
+	ref, refStats := AssignSlotsMPCWorkers(m, 4, 1)
+	got, gotStats := AssignSlotsMPCWorkers(m, 4, 4)
+	if refStats != gotStats {
+		t.Fatalf("stats diverged: %+v vs %+v", gotStats, refStats)
+	}
+	for e := range ref.SlotU {
+		if ref.SlotU[e] != got.SlotU[e] || ref.SlotV[e] != got.SlotV[e] {
+			t.Fatalf("slot assignment diverged at edge %d", e)
+		}
+	}
+}

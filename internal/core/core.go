@@ -43,7 +43,9 @@ func ConstApprox(g *graph.Graph, b graph.Budgets, params frac.MPCParams, r *rng.
 	}
 	p := frac.BMatchingProblem(g, b)
 	full := p.FullMPC(params, r.Split())
-	m := round.Round(g, b, full.X, round.DefaultParams(), r.Split())
+	rp := round.DefaultParams()
+	rp.Workers = params.Workers
+	m := round.Round(g, b, full.X, rp, r.Split())
 	// The sampling intentionally leaves constant-factor slack; greedy fill
 	// recovers most of it and cannot hurt.
 	round.GreedyFill(m, false)
@@ -64,6 +66,9 @@ func OnePlusEpsUnweighted(g *graph.Graph, b graph.Budgets, eps float64, mpcParam
 	}
 	if augParams.Eps <= 0 {
 		augParams.Eps = eps
+	}
+	if augParams.Workers == 0 {
+		augParams.Workers = mpcParams.Workers
 	}
 	return augment.OnePlusEps(g, b, start.M, augParams, r.Split())
 }

@@ -9,6 +9,7 @@ package frac
 import (
 	"math"
 
+	"repro/internal/mpc"
 	"repro/internal/rng"
 )
 
@@ -32,6 +33,10 @@ type FullResult struct {
 	MaxMachineEdges int        // max edges resident on one machine (Lemma 3.28)
 	History         []IterStat // per-iteration series
 	Converged       bool       // E_active became empty within MaxIterations
+	// SimStats aggregates the simulator observables across all compression
+	// steps: Rounds and TotalTraffic sum over steps, MaxRoundIO and
+	// MaxMachineWords are maxima (each step runs on a fresh cluster).
+	SimStats mpc.Stats
 }
 
 // FullMPC runs Algorithm 3 and returns the accumulated fractional solution
@@ -93,6 +98,14 @@ func (p *Problem) FullMPC(params MPCParams, r *rng.RNG) *FullResult {
 			res.TotalSimRounds += or.Stats.Rounds
 			if or.MaxMachineEdges > res.MaxMachineEdges {
 				res.MaxMachineEdges = or.MaxMachineEdges
+			}
+			res.SimStats.Rounds += or.Stats.Rounds
+			res.SimStats.TotalTraffic += or.Stats.TotalTraffic
+			if or.Stats.MaxRoundIO > res.SimStats.MaxRoundIO {
+				res.SimStats.MaxRoundIO = or.Stats.MaxRoundIO
+			}
+			if or.Stats.MaxMachineWords > res.SimStats.MaxMachineWords {
+				res.SimStats.MaxMachineWords = or.Stats.MaxMachineWords
 			}
 		} else {
 			xPrime = subProb.Sequential(TightRounds(len(active)), nil, r.Split())

@@ -40,6 +40,10 @@ type MPCParams struct {
 	// (Section 1.4) that the unclamped rule gives low-degree vertices edge
 	// values too large for accurate estimates; experiment E10 measures it.
 	InitNoClamp bool
+	// Workers is the worker-pool width for the simulator's compute and
+	// delivery phases (and for the parallel stages of the drivers built on
+	// top). 0 selects GOMAXPROCS. Results are identical for every value.
+	Workers int
 }
 
 // PaperParams returns the constants exactly as in the paper (TDivisor 1000),
@@ -123,7 +127,7 @@ func (p *Problem) OneRoundMPC(params MPCParams, thresholds ThresholdFn, r *rng.R
 	if extra := (m + n - 1) / maxInt(n, 1); extra > mtot {
 		mtot = extra
 	}
-	sim := mpc.NewSim(mtot)
+	sim := mpc.NewSimWithWorkers(mtot, params.Workers)
 
 	// Input layout (arbitrary initial distribution, as the model allows):
 	// edge e starts at machine e mod mtot.

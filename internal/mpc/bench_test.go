@@ -1,0 +1,66 @@
+package mpc
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// workerCounts returns the deduplicated ascending worker counts exercised
+// by the parallel-delivery benchmarks and tests: 1, 2, 4, and GOMAXPROCS.
+func workerCounts() []int {
+	out := []int{1}
+	for _, w := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		if w > out[len(out)-1] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// BenchmarkDelivery isolates the end-of-round routing pipeline: trivial
+// per-machine compute, heavy all-to-all fan-out. One Sim is reused across
+// iterations, so the allocation-reuse path (pooled inboxes, reset
+// outboxes) is what is being measured.
+func BenchmarkDelivery(b *testing.B) {
+	const n, fanout = 64, 512
+	for _, workers := range workerCounts() {
+		b.Run(fmt.Sprintf("n=%d/fanout=%d/workers=%d", n, fanout, workers), func(b *testing.B) {
+			s := NewSimWithWorkers(n, workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Round(func(m *Machine) {
+					base := m.ID * 31
+					for j := 0; j < fanout; j++ {
+						m.Send((base+j*17)%n, int64(j%13), j%256, 1)
+					}
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkDeliveryExchange measures the Exchange path, where delivered
+// buffers are handed to the caller and cannot be pooled.
+func BenchmarkDeliveryExchange(b *testing.B) {
+	const n, fanout = 64, 512
+	for _, workers := range workerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s := NewSimWithWorkers(n, workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := s.Exchange(func(m *Machine) {
+					base := m.ID * 29
+					for j := 0; j < fanout; j++ {
+						m.Send((base+j*13)%n, int64(j%7), j%256, 1)
+					}
+				})
+				if len(out) != n {
+					b.Fatal("lost inboxes")
+				}
+			}
+		})
+	}
+}

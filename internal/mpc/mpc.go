@@ -1,13 +1,21 @@
 // Package mpc is a round-synchronous simulator of the Massively Parallel
 // Computation model (Section 1.1 of the paper). Algorithms written against
 // it execute in supersteps: in each round every machine runs local
-// computation in parallel (one goroutine per machine, gated by a worker
-// pool) and exchanges messages; the simulator enforces determinism and
-// accounts rounds, per-machine memory, and communication volume.
+// computation in parallel (on a bounded worker pool) and exchanges
+// messages; the simulator enforces determinism and accounts rounds,
+// per-machine memory, and communication volume.
 //
 // The observables of the MPC model — round count, local memory S, global
 // memory M·S — are exactly what the simulator measures, so the experiment
 // tables report real measurements rather than formula evaluations.
+//
+// End-of-round delivery is itself parallel: senders are sharded across the
+// worker pool, each worker buckets its shard's outboxes per destination,
+// and the shards are merged in sender-id order, so the delivered order is
+// bit-for-bit identical for every worker count. Inbox and outbox buffers
+// are reused across rounds; consequently the slice returned by
+// Machine.Recv is only valid for the duration of the round callback.
+// Slices returned by Exchange are owned by the caller and stay valid.
 package mpc
 
 import (
@@ -15,6 +23,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Message is a unit of communication. Words is its size in machine words,
@@ -24,6 +33,11 @@ type Message struct {
 	Key      int64 // routing/deterministic-ordering key chosen by the sender
 	Payload  any
 	Words    int64
+	// Seq is the per-sender send sequence number, assigned by Send. It
+	// makes the documented delivery order — sender, then key, then send
+	// order — an explicit total order instead of an implicit property of
+	// stable sorting.
+	Seq int64
 }
 
 // Stats aggregates the model's observables over a simulation.
@@ -34,9 +48,9 @@ type Stats struct {
 	TotalTraffic    int64 // total words communicated
 }
 
-// Sim is a simulator instance. Create with NewSim; a Sim is not safe for
-// concurrent use by multiple top-level algorithms, but machine callbacks
-// within a round run in parallel.
+// Sim is a simulator instance. Create with NewSim or NewSimWithWorkers; a
+// Sim is not safe for concurrent use by multiple top-level algorithms, but
+// machine callbacks within a round run in parallel.
 type Sim struct {
 	n       int
 	workers int
@@ -44,17 +58,50 @@ type Sim struct {
 	inbox   [][]Message // messages delivered at the start of the current round
 
 	resident []int64 // per-machine resident words, maintained via Charge/Release
+
+	machines []*Machine     // reused across rounds (outboxes reset, not reallocated)
+	shards   []deliverShard // per-worker bucketing state, reused across rounds
+	spare    [][]Message    // recycled inbox header array for the next delivery
+	free     [][]Message    // pooled zero-length message buffers
 }
 
-// NewSim returns a simulator with n machines. Worker parallelism defaults to
-// GOMAXPROCS.
-func NewSim(n int) *Sim {
+// deliverShard is one worker's view of the delivery pipeline: the counts,
+// received words, and write cursors for the messages sent by its
+// contiguous range of sender ids.
+type deliverShard struct {
+	lo, hi int     // sender range [lo, hi)
+	count  []int   // per-destination message count from this range
+	words  []int64 // per-destination received words from this range
+	cursor []int   // per-destination write index into the merged inbox
+}
+
+// NewSim returns a simulator with n machines. Worker parallelism defaults
+// to GOMAXPROCS.
+func NewSim(n int) *Sim { return NewSimWithWorkers(n, 0) }
+
+// PoolSize resolves a requested worker count to the effective pool width:
+// values ≤ 0 select GOMAXPROCS.
+func PoolSize(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// NewSimWithWorkers returns a simulator with n machines whose compute and
+// delivery phases run on workers goroutines. workers ≤ 0 selects
+// GOMAXPROCS. Results and Stats are identical for every worker count.
+func NewSimWithWorkers(n, workers int) *Sim {
 	if n < 1 {
 		panic("mpc: need at least one machine")
 	}
+	workers = PoolSize(workers)
+	if workers > n {
+		workers = n
+	}
 	return &Sim{
 		n:        n,
-		workers:  runtime.GOMAXPROCS(0),
+		workers:  workers,
 		inbox:    make([][]Message, n),
 		resident: make([]int64, n),
 	}
@@ -62,6 +109,9 @@ func NewSim(n int) *Sim {
 
 // Machines returns the number of machines.
 func (s *Sim) Machines() int { return s.n }
+
+// Workers returns the worker-pool width used for compute and delivery.
+func (s *Sim) Workers() int { return s.workers }
 
 // Stats returns the accumulated observables.
 func (s *Sim) Stats() Stats { return s.stats }
@@ -79,7 +129,10 @@ type Machine struct {
 }
 
 // Recv returns the messages delivered to this machine this round, in a
-// deterministic order (sorted by sender, then key, then send order).
+// deterministic order (sorted by sender, then key, then send order). The
+// slice is owned by the simulator and valid only until the round callback
+// returns; copy it to retain messages across rounds (or use Exchange,
+// whose returned slices are caller-owned).
 func (m *Machine) Recv() []Message { return m.recv }
 
 // Send queues a message for delivery at the start of the next round.
@@ -90,7 +143,7 @@ func (m *Machine) Send(to int, key int64, payload any, words int64) {
 	if words < 0 {
 		panic("mpc: negative message size")
 	}
-	m.sent = append(m.sent, Message{From: m.ID, To: to, Key: key, Payload: payload, Words: words})
+	m.sent = append(m.sent, Message{From: m.ID, To: to, Key: key, Payload: payload, Words: words, Seq: m.seq})
 	m.sentWords += words
 	m.seq++
 }
@@ -101,11 +154,76 @@ func (m *Machine) Charge(words int64) {
 	m.sim.resident[m.ID] += words
 }
 
-// Release records words of resident data being freed.
+// Release records words of resident data being freed. Releasing more than
+// is resident panics: a negative balance means the algorithm's memory
+// accounting is wrong, and silently clamping would let the bug corrupt the
+// MaxMachineWords observable.
 func (m *Machine) Release(words int64) {
 	m.sim.resident[m.ID] -= words
 	if m.sim.resident[m.ID] < 0 {
-		m.sim.resident[m.ID] = 0
+		panic(fmt.Sprintf("mpc: machine %d released %d words with only %d resident",
+			m.ID, words, m.sim.resident[m.ID]+words))
+	}
+}
+
+// ParallelFor runs f(0), ..., f(n-1) on a pool of workers goroutines
+// (workers ≤ 0 selects GOMAXPROCS) and returns when all calls completed.
+// Panics inside f are collected and one is re-raised in the caller's
+// goroutine after the remaining items ran, so a failure behaves like an
+// ordinary panic regardless of which worker hit it. Iteration order is
+// unspecified; f must be safe for the concurrency it is given.
+func ParallelFor(workers, n int, f func(int)) {
+	workers = PoolSize(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		// Same panic contract as the parallel path: run every item, then
+		// re-raise the first captured panic.
+		var first any
+		for i := 0; i < n; i++ {
+			func() {
+				defer func() {
+					if r := recover(); r != nil && first == nil {
+						first = r
+					}
+				}()
+				f(i)
+			}()
+		}
+		if first != nil {
+			panic(first)
+		}
+		return
+	}
+	var next atomic.Int64
+	panics := make(chan any, n)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panics <- r
+						}
+					}()
+					f(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case p := <-panics:
+		panic(p)
+	default:
 	}
 }
 
@@ -113,80 +231,163 @@ func (m *Machine) Release(words int64) {
 // queued messages are delivered. It returns after delivery, with all
 // accounting updated.
 func (s *Sim) Round(fn func(m *Machine)) {
-	machines := make([]*Machine, s.n)
-	for i := range machines {
-		machines[i] = &Machine{ID: i, sim: s, recv: s.inbox[i]}
-	}
-
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, s.workers)
-	panics := make(chan any, s.n)
-	for i := range machines {
-		wg.Add(1)
-		go func(m *Machine) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			defer func() {
-				if r := recover(); r != nil {
-					panics <- r
-				}
-			}()
-			fn(m)
-		}(machines[i])
-	}
-	wg.Wait()
-	select {
-	case p := <-panics:
-		// Re-panic in the caller's goroutine so machine failures are
-		// observable (and testable) like ordinary panics.
-		panic(p)
-	default:
-	}
-
-	// Deliver: group by destination; deterministic order independent of
-	// goroutine scheduling because each sender's outbox is already ordered
-	// and we merge senders by id.
-	next := make([][]Message, s.n)
-	var recvWords = make([]int64, s.n)
-	for _, m := range machines {
-		for _, msg := range m.sent {
-			next[msg.To] = append(next[msg.To], msg)
-			recvWords[msg.To] += msg.Words
-			s.stats.TotalTraffic += msg.Words
+	if s.machines == nil {
+		s.machines = make([]*Machine, s.n)
+		for i := range s.machines {
+			s.machines[i] = &Machine{ID: i, sim: s}
 		}
 	}
-	for to := range next {
-		msgs := next[to]
-		sort.SliceStable(msgs, func(i, j int) bool {
-			if msgs[i].From != msgs[j].From {
-				return msgs[i].From < msgs[j].From
-			}
-			return msgs[i].Key < msgs[j].Key
-		})
+	for i, m := range s.machines {
+		m.recv = s.inbox[i]
+		m.sent = m.sent[:0]
+		m.sentWords = 0
+		m.seq = 0
 	}
+	ParallelFor(s.workers, s.n, func(i int) { fn(s.machines[i]) })
+	s.deliver()
+	s.stats.Rounds++
+}
 
-	// Accounting: IO per machine this round; resident high-water including
-	// the inbox it must hold.
-	for i, m := range machines {
-		io := m.sentWords + recvWords[i]
-		if io > s.stats.MaxRoundIO {
+// deliver routes every outbox to its destination inbox. The pipeline is
+// sharded across the worker pool but bit-for-bit deterministic: each worker
+// owns a contiguous ascending range of sender ids, per-destination shard
+// regions are concatenated in worker (= sender) order, and the final
+// per-destination sort is by the total order (sender, key, seq).
+func (s *Sim) deliver() {
+	n := s.n
+	w := s.workers
+	if len(s.shards) < w {
+		s.shards = make([]deliverShard, w)
+		for i := range s.shards {
+			s.shards[i] = deliverShard{
+				count:  make([]int, n),
+				words:  make([]int64, n),
+				cursor: make([]int, n),
+			}
+		}
+	}
+	shards := s.shards[:w]
+	chunk := (n + w - 1) / w
+
+	// Pass 1 (parallel): per-shard destination counts and word totals.
+	ParallelFor(w, w, func(wi int) {
+		sh := &shards[wi]
+		sh.lo = wi * chunk
+		sh.hi = sh.lo + chunk
+		if sh.hi > n {
+			sh.hi = n
+		}
+		for d := 0; d < n; d++ {
+			sh.count[d] = 0
+			sh.words[d] = 0
+		}
+		for sender := sh.lo; sender < sh.hi; sender++ {
+			for i := range s.machines[sender].sent {
+				msg := &s.machines[sender].sent[i]
+				sh.count[msg.To]++
+				sh.words[msg.To] += msg.Words
+			}
+		}
+	})
+
+	// Merge (serial, O(workers·n)): size each destination's inbox exactly,
+	// hand every shard its write region, and fold the round's accounting
+	// (traffic, per-machine IO, resident high-water) into the same scan —
+	// there is no separate accounting pass.
+	prev := s.inbox
+	next := s.spare
+	if next == nil {
+		next = make([][]Message, n)
+	}
+	s.spare = nil
+	for d := 0; d < n; d++ {
+		total := 0
+		var rw int64
+		for wi := range shards {
+			shards[wi].cursor[d] = total
+			total += shards[wi].count[d]
+			rw += shards[wi].words[d]
+		}
+		next[d] = s.grab(total)
+		s.stats.TotalTraffic += rw
+		if io := s.machines[d].sentWords + rw; io > s.stats.MaxRoundIO {
 			s.stats.MaxRoundIO = io
 		}
-		res := s.resident[i] + recvWords[i]
-		if res > s.stats.MaxMachineWords {
+		if res := s.resident[d] + rw; res > s.stats.MaxMachineWords {
 			s.stats.MaxMachineWords = res
 		}
 	}
 
+	// Pass 2 (parallel): scatter messages into the disjoint shard regions.
+	ParallelFor(w, w, func(wi int) {
+		sh := &shards[wi]
+		for sender := sh.lo; sender < sh.hi; sender++ {
+			for _, msg := range s.machines[sender].sent {
+				next[msg.To][sh.cursor[msg.To]] = msg
+				sh.cursor[msg.To]++
+			}
+		}
+	})
+
+	// Pass 3 (parallel): per-destination inbox sorts into the documented
+	// (sender, key, send order) total order.
+	ParallelFor(w, n, func(d int) {
+		box := next[d]
+		if len(box) < 2 {
+			return
+		}
+		sort.Slice(box, func(i, j int) bool {
+			if box[i].From != box[j].From {
+				return box[i].From < box[j].From
+			}
+			if box[i].Key != box[j].Key {
+				return box[i].Key < box[j].Key
+			}
+			return box[i].Seq < box[j].Seq
+		})
+	})
+
+	// Recycle the inboxes consumed this round and keep their header array
+	// for the next delivery. Slices handed out by Exchange never return
+	// here: Exchange replaces both the header array and the buffers.
+	// Pooled buffers are cleared to their full capacity so stale Payload
+	// references don't pin the previous round's data until reuse.
+	for i, buf := range prev {
+		if cap(buf) > 0 && len(s.free) < 2*n {
+			buf = buf[:cap(buf)]
+			clear(buf)
+			s.free = append(s.free, buf[:0])
+		}
+		prev[i] = nil
+	}
+	s.spare = prev
 	s.inbox = next
-	s.stats.Rounds++
+}
+
+// grab returns a message buffer of length n, reusing pooled capacity when
+// possible. Elements are uninitialized; the delivery passes overwrite all
+// of them.
+func (s *Sim) grab(n int) []Message {
+	if n == 0 {
+		return nil
+	}
+	for i := len(s.free) - 1; i >= 0; i-- {
+		if cap(s.free[i]) >= n {
+			buf := s.free[i][:n]
+			s.free[i] = s.free[len(s.free)-1]
+			s.free[len(s.free)-1] = nil
+			s.free = s.free[:len(s.free)-1]
+			return buf
+		}
+	}
+	return make([]Message, n)
 }
 
 // Exchange runs one superstep like Round and additionally returns the
 // delivered messages per machine, consuming them (the next round's inboxes
 // start empty). This lets multi-step primitives process a round's output
-// without paying an extra bookkeeping round.
+// without paying an extra bookkeeping round. Ownership of the returned
+// slices transfers to the caller; the simulator never reuses them.
 func (s *Sim) Exchange(fn func(m *Machine)) [][]Message {
 	s.Round(fn)
 	out := s.inbox

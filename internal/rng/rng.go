@@ -27,7 +27,15 @@ func New(seed int64) *RNG {
 // parent's state, so distinct calls yield distinct streams, and the parent
 // advances (two Split calls return different children).
 func (g *RNG) Split() *RNG {
-	return New(int64(g.r.Uint64()))
+	return New(g.Reserve())
+}
+
+// Reserve draws a child seed from the stream without materializing the
+// child: New(Reserve()) equals Split(), but the seed can reconstruct the
+// identical child stream any number of times. Speculative-execution
+// callers use it to replay a child stream when a speculation is discarded.
+func (g *RNG) Reserve() int64 {
+	return int64(g.r.Uint64())
 }
 
 // SplitN derives n child streams.

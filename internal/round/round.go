@@ -10,6 +10,7 @@ package round
 import (
 	"repro/internal/graph"
 	"repro/internal/matching"
+	"repro/internal/mpc"
 	"repro/internal/rng"
 )
 
@@ -24,6 +25,11 @@ type Params struct {
 	// Weighted selects weight (instead of cardinality) as the maximized
 	// objective across repeats.
 	Weighted bool
+	// Workers is the worker-pool width for running the repeats in
+	// parallel; 0 selects GOMAXPROCS. The result is identical for every
+	// value: each trial's RNG is split off deterministically up front and
+	// the winner is chosen by the same in-order scan as the serial code.
+	Workers int
 }
 
 // DefaultParams returns the paper's constants with 16 repeats.
@@ -68,9 +74,16 @@ func Round(g *graph.Graph, b graph.Budgets, x []float64, p Params, r *rng.RNG) *
 	if p.Repeats < 1 {
 		p.Repeats = 1
 	}
+	rs := make([]*rng.RNG, p.Repeats)
+	for t := range rs {
+		rs[t] = r.Split()
+	}
+	trials := make([]*matching.BMatching, p.Repeats)
+	mpc.ParallelFor(p.Workers, p.Repeats, func(t int) {
+		trials[t] = Sample(g, b, x, p.SampleDivisor, rs[t])
+	})
 	var best *matching.BMatching
-	for t := 0; t < p.Repeats; t++ {
-		m := Sample(g, b, x, p.SampleDivisor, r.Split())
+	for _, m := range trials {
 		if best == nil {
 			best = m
 			continue

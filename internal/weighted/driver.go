@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/matching"
+	"repro/internal/mpc"
 	"repro/internal/rng"
 )
 
@@ -38,6 +39,13 @@ type Params struct {
 	MaxRetries  int
 	StallRounds int
 	MaxRounds   int
+	// Workers is the worker-pool width for the parallel candidate
+	// generation (instance building, growing, and within-resolution all
+	// read the matching without mutating it, so the per-(k, instance) jobs
+	// run concurrently); 0 selects GOMAXPROCS. RNG streams are split off
+	// deterministically per job and the pool is assembled in job order, so
+	// the result is identical for every worker count.
+	Workers int
 }
 
 // DefaultParams returns practical defaults for slack eps.
@@ -115,16 +123,32 @@ func OnePlusEpsWeighted(g *graph.Graph, b graph.Budgets, initial *matching.BMatc
 		res.Rounds++
 		// Sweep every layer count up to K: short swap walks are far more
 		// likely to survive a small-k layering, long ones need larger k
-		// (mirroring the unweighted driver's per-k sweeps).
-		var pool []Candidate
+		// (mirroring the unweighted driver's per-k sweeps). The matching is
+		// not mutated until ApplyAll below, so the per-(k, instance) jobs
+		// run on the worker pool; RNGs are pre-split in job order, keeping
+		// the pool bit-for-bit identical to the serial sweep.
+		type genJob struct {
+			k          int
+			rB, rG, rR *rng.RNG
+			out        []Candidate
+		}
+		var jobs []genJob
 		for k := 1; k <= params.K; k++ {
 			for i := 0; i < params.Batch*retries; i++ {
-				inst := BuildInstance(m, k, r.Split())
-				cands := inst.Grow(r.Split())
-				pool = append(pool, ResolveWithin(cands, m, params.KeepProb, r.Split())...)
-				res.Instances++
-				res.EstMPCRounds += k
+				jobs = append(jobs, genJob{k: k, rB: r.Split(), rG: r.Split(), rR: r.Split()})
 			}
+		}
+		mpc.ParallelFor(params.Workers, len(jobs), func(j int) {
+			job := &jobs[j]
+			inst := BuildInstance(m, job.k, job.rB)
+			cands := inst.Grow(job.rG)
+			job.out = ResolveWithin(cands, m, params.KeepProb, job.rR)
+		})
+		var pool []Candidate
+		for j := range jobs {
+			pool = append(pool, jobs[j].out...)
+			res.Instances++
+			res.EstMPCRounds += jobs[j].k
 		}
 		res.EstMPCRounds += 2 // conflict resolution: O(1) rounds per batch
 		resolved := ResolveBetween(pool, m, params.ClassBase, params.Spread)
