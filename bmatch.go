@@ -25,12 +25,15 @@
 package bmatch
 
 import (
+	"fmt"
+
 	"repro/internal/augment"
 	"repro/internal/core"
 	"repro/internal/frac"
 	"repro/internal/graph"
 	"repro/internal/matching"
 	"repro/internal/rng"
+	"repro/internal/serve"
 	"repro/internal/stream"
 	"repro/internal/weighted"
 )
@@ -70,6 +73,17 @@ type Options struct {
 	PaperConstants bool
 }
 
+// Validate checks the options. Eps must be zero (keep the default of 0.25)
+// or lie in (0, 1); negative, NaN, Inf, and ≥ 1 values are rejected so they
+// cannot reach the drivers. The contract lives in serve.ValidateEps, shared
+// with the bmatchd request boundary.
+func (o Options) Validate() error {
+	if err := serve.ValidateEps(o.Eps); err != nil {
+		return fmt.Errorf("bmatch: %w", err)
+	}
+	return nil
+}
+
 func (o Options) mpcParams() frac.MPCParams {
 	if o.PaperConstants {
 		return frac.PaperParams()
@@ -77,12 +91,7 @@ func (o Options) mpcParams() frac.MPCParams {
 	return frac.PracticalParams()
 }
 
-func (o Options) eps() float64 {
-	if o.Eps > 0 {
-		return o.Eps
-	}
-	return 0.25
-}
+func (o Options) eps() float64 { return serve.EpsOrDefault(o.Eps) }
 
 // ApproxStats carries the MPC measurements of an Approx run.
 type ApproxStats struct {
@@ -103,6 +112,9 @@ type ApproxStats struct {
 // Approx computes a Θ(1)-approximate maximum-cardinality b-matching using
 // the paper's O(log log d̄)-round MPC algorithm (Theorem 3.1).
 func Approx(g *Graph, b Budgets, opts Options) (*BMatching, *ApproxStats, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, nil, err
+	}
 	res, err := core.ConstApprox(g, b, opts.mpcParams(), rng.New(opts.Seed))
 	if err != nil {
 		return nil, nil, err
@@ -119,6 +131,9 @@ func Approx(g *Graph, b Budgets, opts Options) (*BMatching, *ApproxStats, error)
 // Max computes a (1+ε)-approximate maximum-cardinality b-matching
 // (Theorem 4.1).
 func Max(g *Graph, b Budgets, opts Options) (*BMatching, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	res, err := core.OnePlusEpsUnweighted(g, b, opts.eps(), opts.mpcParams(),
 		augment.DefaultParams(opts.eps()), rng.New(opts.Seed))
 	if err != nil {
@@ -130,6 +145,9 @@ func Max(g *Graph, b Budgets, opts Options) (*BMatching, error) {
 // MaxWeight computes a (1+ε)-approximate maximum-weight b-matching
 // (Theorem 5.1).
 func MaxWeight(g *Graph, b Budgets, opts Options) (*BMatching, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	res, err := core.OnePlusEpsWeighted(g, b, opts.eps(),
 		weighted.DefaultParams(opts.eps()), rng.New(opts.Seed))
 	if err != nil {
@@ -164,6 +182,9 @@ type FractionalResult struct {
 // exposed for callers that want the LP value or the vertex-cover dual
 // rather than an integral matching.
 func ApproxFractional(g *Graph, b Budgets, opts Options) (*FractionalResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	if err := b.Validate(g); err != nil {
 		return nil, err
 	}
@@ -181,6 +202,93 @@ func ApproxFractional(g *Graph, b Budgets, opts Options) (*FractionalResult, err
 	}, nil
 }
 
+// Session is a long-lived solver session for callers that solve many
+// instances (or re-solve the same instance with different seeds or ε). It
+// reuses encode/decode buffers across calls and keeps an LRU cache of
+// decoded instances (keyed by graph content hash) and solve results, so
+// repeat solves skip adjacency building and — for identical requests — the
+// solve itself. cmd/bmatchd serves every request through sessions like
+// this one.
+//
+// A Session is not safe for concurrent use; create one per goroutine (they
+// may share nothing, or use the daemon for shared caching across clients).
+type Session struct {
+	s *serve.Session
+}
+
+// NewSession returns a session with a private instance/result cache.
+func NewSession() *Session {
+	return &Session{s: serve.NewSession(nil)}
+}
+
+func (s *Session) run(g *Graph, b Budgets, opts Options, algo serve.Algo) (*serve.Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	inst, err := s.s.InstanceFromGraph(g, b)
+	if err != nil {
+		return nil, err
+	}
+	return s.s.Solve(inst, serve.Spec{
+		Algo:           algo,
+		Eps:            opts.Eps,
+		Seed:           opts.Seed,
+		PaperConstants: opts.PaperConstants,
+	})
+}
+
+func rebuildMatching(g *Graph, b Budgets, edges []int32) (*BMatching, error) {
+	m, err := matching.New(g, b)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range edges {
+		if err := m.Add(e); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Approx is the session-aware Approx: identical output, but repeat calls
+// with the same graph reuse the cached instance and repeat calls with the
+// same options reuse the cached result.
+func (s *Session) Approx(g *Graph, b Budgets, opts Options) (*BMatching, *ApproxStats, error) {
+	res, err := s.run(g, b, opts, serve.AlgoApprox)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := rebuildMatching(g, b, res.Edges)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, &ApproxStats{
+		CompressionSteps: res.CompressionSteps,
+		MPCRounds:        res.MPCRounds,
+		MaxMachineEdges:  res.MaxMachineEdges,
+		FracValue:        res.FracValue,
+		DualBound:        res.DualBound,
+	}, nil
+}
+
+// Max is the session-aware Max (Theorem 4.1).
+func (s *Session) Max(g *Graph, b Budgets, opts Options) (*BMatching, error) {
+	res, err := s.run(g, b, opts, serve.AlgoMax)
+	if err != nil {
+		return nil, err
+	}
+	return rebuildMatching(g, b, res.Edges)
+}
+
+// MaxWeight is the session-aware MaxWeight (Theorem 5.1).
+func (s *Session) MaxWeight(g *Graph, b Budgets, opts Options) (*BMatching, error) {
+	res, err := s.run(g, b, opts, serve.AlgoMaxWeight)
+	if err != nil {
+		return nil, err
+	}
+	return rebuildMatching(g, b, res.Edges)
+}
+
 // StreamResult reports a semi-streaming computation: the matched edge ids,
 // the number of passes, and the peak retained memory in words.
 type StreamResult = stream.Result
@@ -195,11 +303,17 @@ func NewSliceStream(g *Graph) EdgeStream { return stream.NewSliceStream(g) }
 // the semi-streaming model, using Õ(Σb_v) memory and O(1/ε) passes per
 // sweep (Theorem 4.1, streaming part).
 func StreamMax(s EdgeStream, n int, b Budgets, opts Options) (*StreamResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	return stream.OnePlusEps(s, n, b, stream.Params{Eps: opts.eps()}, rng.New(opts.Seed))
 }
 
 // StreamMaxWeight is the weighted semi-streaming variant (Theorem 5.1,
 // streaming part).
 func StreamMaxWeight(s EdgeStream, n int, b Budgets, opts Options) (*StreamResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	return stream.OnePlusEpsWeighted(s, n, b, stream.Params{Eps: opts.eps()}, rng.New(opts.Seed))
 }

@@ -1,6 +1,7 @@
 package bmatch
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/exact"
@@ -197,5 +198,102 @@ func TestApproxFractionalRejectsBadBudgets(t *testing.T) {
 	g := graph.Path(3)
 	if _, err := ApproxFractional(g, Budgets{1}, Options{}); err == nil {
 		t.Fatal("short budget vector accepted")
+	}
+}
+
+// TestOptionsValidate pins the Options contract: zero Eps keeps the
+// default, (0,1) is accepted, and negative/NaN/Inf/≥1 are rejected by every
+// entry point before any work happens.
+func TestOptionsValidate(t *testing.T) {
+	good := []float64{0, 0.01, 0.25, 0.999}
+	for _, eps := range good {
+		if err := (Options{Eps: eps}).Validate(); err != nil {
+			t.Errorf("Eps=%v rejected: %v", eps, err)
+		}
+	}
+	bad := []float64{-0.1, -1, 1, 1.5, math.NaN(), math.Inf(1), math.Inf(-1)}
+	for _, eps := range bad {
+		if err := (Options{Eps: eps}).Validate(); err == nil {
+			t.Errorf("Eps=%v accepted", eps)
+		}
+	}
+}
+
+func TestEntryPointsRejectBadEps(t *testing.T) {
+	g := graph.Gnm(20, 40, rng.New(1))
+	b := graph.UniformBudgets(20, 2)
+	bad := Options{Eps: math.NaN()}
+	if _, _, err := Approx(g, b, bad); err == nil {
+		t.Error("Approx accepted NaN Eps")
+	}
+	if _, err := Max(g, b, bad); err == nil {
+		t.Error("Max accepted NaN Eps")
+	}
+	if _, err := MaxWeight(g, b, bad); err == nil {
+		t.Error("MaxWeight accepted NaN Eps")
+	}
+	if _, err := ApproxFractional(g, b, bad); err == nil {
+		t.Error("ApproxFractional accepted NaN Eps")
+	}
+	if _, err := StreamMax(NewSliceStream(g), g.N, b, Options{Eps: -2}); err == nil {
+		t.Error("StreamMax accepted negative Eps")
+	}
+	if _, err := StreamMaxWeight(NewSliceStream(g), g.N, b, Options{Eps: 3}); err == nil {
+		t.Error("StreamMaxWeight accepted Eps >= 1")
+	}
+}
+
+// TestSessionMatchesOneShot pins that the session-aware entry points return
+// exactly what the one-shot facade returns, and that repeat solves (served
+// from the session's result cache) stay identical.
+func TestSessionMatchesOneShot(t *testing.T) {
+	r := rng.New(8)
+	g := graph.GnmWeighted(80, 600, 1, 9, r.Split())
+	b := graph.RandomBudgets(80, 1, 3, r.Split())
+	opts := Options{Seed: 11, Eps: 0.25}
+
+	want, err := MaxWeight(g, b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession()
+	for round := 0; round < 2; round++ {
+		got, err := s.MaxWeight(g, b, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The session rebuilds the matching from edge ids, so its cached
+		// weight accumulates in id order; allow the resulting last-ULP
+		// float difference while requiring the edge sets to be identical.
+		if got.Size() != want.Size() || math.Abs(got.Weight()-want.Weight()) > 1e-9*want.Weight() {
+			t.Fatalf("round %d: session size/weight %d/%v != one-shot %d/%v",
+				round, got.Size(), got.Weight(), want.Size(), want.Weight())
+		}
+		ge, we := got.Edges(), want.Edges()
+		for i := range we {
+			if ge[i] != we[i] {
+				t.Fatalf("round %d: edge %d differs", round, i)
+			}
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Approx through the session carries the same certificate fields.
+	m1, st1, err := Approx(g, b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, st2, err := s.Approx(g, b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Size() != m2.Size() || st1.DualBound != st2.DualBound ||
+		st1.CompressionSteps != st2.CompressionSteps || st1.MaxMachineEdges != st2.MaxMachineEdges {
+		t.Fatalf("session Approx diverged: %+v vs %+v", st1, st2)
+	}
+	if _, err := s.Max(g, b, Options{Eps: 5}); err == nil {
+		t.Fatal("session accepted invalid Eps")
 	}
 }

@@ -42,6 +42,13 @@ var (
 
 func main() {
 	flag.Parse()
+	opts := bmatch.Options{Seed: *seedFlag, Eps: *epsFlag, PaperConstants: *paperFlag}
+	// Reject bad -eps before any work: the same Options validation guards
+	// the library entry points and the bmatchd request boundary.
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "bmatch:", err)
+		os.Exit(2)
+	}
 	g, b, err := buildInstance()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bmatch:", err)
@@ -49,7 +56,6 @@ func main() {
 	}
 	fmt.Printf("instance: n=%d m=%d d̄=%.1f Σb=%d\n", g.N, g.M(), g.AvgDeg(), b.Sum())
 
-	opts := bmatch.Options{Seed: *seedFlag, Eps: *epsFlag, PaperConstants: *paperFlag}
 	start := time.Now()
 	switch *algoFlag {
 	case "approx":

@@ -1,0 +1,101 @@
+// Command bmatchd is the b-matching daemon: an HTTP/JSON service that
+// solves b-matching instances with long-lived solver sessions, a
+// content-hash instance cache, and bounded request batching across a
+// worker pool.
+//
+// Endpoints:
+//
+//	POST /v1/solve?algo=approx|max|maxw|greedy&eps=&seed=&paper=&nocache=
+//	     body: instance in graphio text or binary format (auto-detected)
+//	GET  /v1/healthz
+//	GET  /v1/stats
+//
+// Example:
+//
+//	bmatchd -addr :8377 &
+//	printf 'n 4\ne 0 1 2\ne 1 2 3\ne 2 3 1\n' |
+//	    curl -sS --data-binary @- 'localhost:8377/v1/solve?algo=maxw&seed=1'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+var (
+	addrFlag      = flag.String("addr", ":8377", "listen address")
+	workersFlag   = flag.Int("workers", 0, "solver workers (0 = default of 4)")
+	queueFlag     = flag.Int("queue", 0, "bounded request queue depth (0 = 4x workers)")
+	batchFlag     = flag.Int("batch", 0, "max requests one worker drains back-to-back (0 = default of 8)")
+	solverWFlag   = flag.Int("solver-workers", 0, "per-solve internal parallelism (0 = default of 1)")
+	instancesFlag = flag.Int("cache-instances", 0, "instance cache entries (0 = default of 32)")
+	resultsFlag   = flag.Int("cache-results", 0, "result cache entries (0 = default of 256)")
+	maxBodyFlag   = flag.Int64("max-body", 0, "max request body bytes (0 = default of 256 MiB)")
+	decodeFlag    = flag.Int("decode-slots", 0, "max concurrent request decodes (0 = 2x workers)")
+	maxNFlag      = flag.Int("max-vertices", 0, "max vertices per instance (0 = default of 2^24, negative = unlimited)")
+	maxMFlag      = flag.Int("max-edges", 0, "max edges per instance (0 = default of 2^25, negative = unlimited)")
+	readTOFlag    = flag.Duration("read-timeout", 2*time.Minute, "max time to read a request body (bounds how long a slow client can hold a decode slot)")
+	writeTOFlag   = flag.Duration("write-timeout", 5*time.Minute, "max time to serve one request, including the solve")
+)
+
+func main() {
+	flag.Parse()
+	srv := serve.NewServer(serve.ServerConfig{
+		Pool: serve.PoolConfig{
+			Workers:       *workersFlag,
+			QueueDepth:    *queueFlag,
+			BatchMax:      *batchFlag,
+			SolverWorkers: *solverWFlag,
+			DecodeSlots:   *decodeFlag,
+			MaxVertices:   *maxNFlag,
+			MaxEdges:      *maxMFlag,
+			Cache: serve.CacheConfig{
+				MaxInstances: *instancesFlag,
+				MaxResults:   *resultsFlag,
+			},
+		},
+		MaxBodyBytes: *maxBodyFlag,
+	})
+	hs := &http.Server{
+		Addr:              *addrFlag,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		// Without a body read deadline, slow-trickling clients would hold
+		// decode slots indefinitely and starve admission.
+		ReadTimeout:  *readTOFlag,
+		WriteTimeout: *writeTOFlag,
+		IdleTimeout:  time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	log.Printf("bmatchd listening on %s", *addrFlag)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "bmatchd:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		log.Printf("bmatchd shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "bmatchd: shutdown:", err)
+		}
+		srv.Close()
+	}
+}

@@ -4,19 +4,55 @@
 // number of requests, and often a varying number"). A maximum weight
 // b-matching is then a revenue-maximizing admission plan.
 //
-// The example compares the one-shot greedy dispatcher against the paper's
-// (1+ε) algorithm and reports server utilization.
+// This example is a live client of the bmatchd serving layer: it starts the
+// daemon in-process, ships the instance over HTTP in the binary graphio
+// wire format, and compares the daemon's greedy dispatcher against the
+// paper's (1+ε) algorithm — including a re-post that hits the instance and
+// result caches.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"time"
 
-	bmatch "repro"
-	"repro/internal/baseline"
 	"repro/internal/graph"
+	"repro/internal/graphio"
+	"repro/internal/matching"
 	"repro/internal/rng"
+	"repro/internal/serve"
 )
+
+type solveResponse struct {
+	Size     int     `json:"size"`
+	Weight   float64 `json:"weight"`
+	Feasible bool    `json:"feasible"`
+	Cached   bool    `json:"cached"`
+	Edges    []int32 `json:"edges"`
+}
+
+func solve(base string, payload []byte, query string) *solveResponse {
+	resp, err := http.Post(base+"/v1/solve?"+query, "application/octet-stream", bytes.NewReader(payload))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("solve: HTTP %d", resp.StatusCode)
+	}
+	var out solveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	if !out.Feasible {
+		log.Fatal("daemon returned an infeasible matching")
+	}
+	return &out
+}
 
 func main() {
 	const (
@@ -25,31 +61,53 @@ func main() {
 	)
 	r := rng.New(7)
 	g, b := graph.ClientServer(clients, servers, 6, 3, 40, r.Split())
-	fmt.Printf("allocation instance: %d clients, %d servers, %d candidate assignments\n",
-		clients, servers, g.M())
+	payload := graphio.AppendBinary(g, b)
+	fmt.Printf("allocation instance: %d clients, %d servers, %d candidate assignments (%d-byte wire payload)\n",
+		clients, servers, g.M(), len(payload))
 	fmt.Printf("total server capacity = %d, total client demand = %d\n",
 		sum(b[clients:]), sum(b[:clients]))
 
-	// Baseline: greedy heaviest-first dispatch (2-approximate).
-	gm := baseline.GreedyWeighted(g, b)
-	fmt.Printf("\ngreedy dispatcher:   %5d requests admitted, value %.0f\n",
-		gm.Size(), gm.Weight())
-
-	// The paper's algorithm.
-	m, err := bmatch.MaxWeight(g, b, bmatch.Options{Seed: 1, Eps: 0.25})
+	// Start the daemon in-process and talk to it over a real socket, as an
+	// external client would.
+	srv := serve.NewServer(serve.ServerConfig{Pool: serve.PoolConfig{Workers: 2}})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("(1+ε) b-matching:    %5d requests admitted, value %.0f (+%.1f%%)\n",
-		m.Size(), m.Weight(), 100*(m.Weight()-gm.Weight())/gm.Weight())
+	go http.Serve(ln, srv.Handler())
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("\nbmatchd serving on %s\n", base)
 
-	// Server utilization under the optimized plan.
+	// Baseline: greedy heaviest-first dispatch (2-approximate).
+	gm := solve(base, payload, "algo=greedy&seed=1")
+	fmt.Printf("greedy dispatcher:   %5d requests admitted, value %.0f\n", gm.Size, gm.Weight)
+
+	// The paper's algorithm, served by the daemon.
+	start := time.Now()
+	m := solve(base, payload, "algo=maxw&seed=1&eps=0.25")
+	fmt.Printf("(1+ε) b-matching:    %5d requests admitted, value %.0f (+%.1f%%) in %v\n",
+		m.Size, m.Weight, 100*(m.Weight-gm.Weight)/gm.Weight, time.Since(start).Round(time.Millisecond))
+
+	// Re-posting the same instance hits the daemon's content-hash caches.
+	start = time.Now()
+	again := solve(base, payload, "algo=maxw&seed=1&eps=0.25")
+	fmt.Printf("same request again:  %5d requests admitted, cached=%t in %v\n",
+		again.Size, again.Cached, time.Since(start).Round(time.Microsecond))
+
+	// Server utilization under the optimized plan, validated client-side.
+	plan := matching.MustNew(g, b)
+	for _, e := range m.Edges {
+		if err := plan.Add(e); err != nil {
+			log.Fatal(err)
+		}
+	}
 	var used, capacity int
 	full := 0
 	for s := clients; s < g.N; s++ {
-		used += m.MatchedDeg(int32(s))
+		used += plan.MatchedDeg(int32(s))
 		capacity += b[s]
-		if !m.Free(int32(s)) {
+		if !plan.Free(int32(s)) {
 			full++
 		}
 	}

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/par"
 )
 
 // Edge is an undirected edge {U,V} with weight W. For unweighted problems
@@ -74,7 +76,89 @@ func MustNew(n int, edges []Edge) *Graph {
 	return g
 }
 
-func (g *Graph) buildAdj() {
+// parallelAdjMin is the edge count below which buildAdj stays serial: the
+// sharded passes pay O(shards·n) extra memory and synchronization, which
+// only amortizes on large instances.
+const parallelAdjMin = 1 << 16
+
+func (g *Graph) buildAdj() { g.buildAdjWorkers(0) }
+
+// buildAdjWorkers builds the CSR index on a pool of workers goroutines
+// (workers ≤ 0 selects GOMAXPROCS). The layout is bit-for-bit identical for
+// every worker count: each vertex's incident edge ids appear in increasing
+// edge-id order, exactly as the serial construction emits them.
+func (g *Graph) buildAdjWorkers(workers int) {
+	m := len(g.Edges)
+	n := g.N
+	workers = par.PoolSize(workers)
+	// Sparse guard: the sharded passes allocate shards·n counting words, so
+	// they only pay off when edges dominate vertices. Requiring m ≥ 2n and
+	// capping shards at m/n bounds the transient arrays by ~4m bytes —
+	// below the edge slice itself — so a large-n, low-m instance (easy to
+	// request from the daemon) cannot blow up decode memory.
+	if m < parallelAdjMin || m < 2*n || workers <= 1 {
+		g.buildAdjSerial()
+		return
+	}
+	shards := workers
+	if shards > 16 {
+		shards = 16
+	}
+	if shards > m/n {
+		shards = m / n
+	}
+
+	// Pass 1 (parallel counting): shard s counts the incidences contributed
+	// by its contiguous edge range [s·m/shards, (s+1)·m/shards).
+	counts := make([][]int32, shards)
+	par.ParallelFor(workers, shards, func(s int) {
+		cnt := make([]int32, n)
+		for _, e := range g.Edges[s*m/shards : (s+1)*m/shards] {
+			cnt[e.U]++
+			cnt[e.V]++
+		}
+		counts[s] = cnt
+	})
+
+	// Pass 2 (parallel per-vertex scan): fold the per-shard counts into
+	// exclusive per-shard write bases and leave each vertex's total degree
+	// in adjStart[v+1].
+	adjStart := make([]int32, n+1)
+	par.ParallelFor(workers, workers, func(bi int) {
+		for v := bi * n / workers; v < (bi+1)*n/workers; v++ {
+			var run int32
+			for s := 0; s < shards; s++ {
+				c := counts[s][v]
+				counts[s][v] = run
+				run += c
+			}
+			adjStart[v+1] = run
+		}
+	})
+	for v := 0; v < n; v++ {
+		adjStart[v+1] += adjStart[v]
+	}
+
+	// Pass 3 (parallel bucketing): every edge's slot is its rank —
+	// adjStart[v] + incidences of v in earlier shards + incidences of v
+	// earlier in this shard — so shards write disjoint positions and the
+	// per-vertex order is increasing edge id, independent of scheduling.
+	adjEdges := make([]int32, 2*m)
+	par.ParallelFor(workers, shards, func(s int) {
+		base := counts[s]
+		for i := s * m / shards; i < (s+1)*m/shards; i++ {
+			e := g.Edges[i]
+			adjEdges[adjStart[e.U]+base[e.U]] = int32(i)
+			base[e.U]++
+			adjEdges[adjStart[e.V]+base[e.V]] = int32(i)
+			base[e.V]++
+		}
+	})
+	g.adjStart = adjStart
+	g.adjEdges = adjEdges
+}
+
+func (g *Graph) buildAdjSerial() {
 	deg := make([]int32, g.N+1)
 	for _, e := range g.Edges {
 		deg[e.U+1]++

@@ -239,3 +239,54 @@ func TestBipartiteWeightedRange(t *testing.T) {
 		}
 	}
 }
+
+// TestBuildAdjParallelMatchesSerial pins that the sharded parallel CSR
+// construction produces a bit-identical layout to the serial one, for
+// several worker counts, on a graph above the parallel threshold.
+func TestBuildAdjParallelMatchesSerial(t *testing.T) {
+	r := rng.New(42)
+	n := 5000
+	m := parallelAdjMin + 1234
+	g := Gnm(n, m, r)
+
+	ref := &Graph{N: g.N, Edges: g.Edges}
+	ref.buildAdjSerial()
+
+	for _, workers := range []int{2, 3, 8, 16, 64} {
+		p := &Graph{N: g.N, Edges: g.Edges}
+		p.buildAdjWorkers(workers)
+		if len(p.adjStart) != len(ref.adjStart) || len(p.adjEdges) != len(ref.adjEdges) {
+			t.Fatalf("workers=%d: index sizes differ", workers)
+		}
+		for v := range ref.adjStart {
+			if p.adjStart[v] != ref.adjStart[v] {
+				t.Fatalf("workers=%d: adjStart[%d] = %d, want %d", workers, v, p.adjStart[v], ref.adjStart[v])
+			}
+		}
+		for i := range ref.adjEdges {
+			if p.adjEdges[i] != ref.adjEdges[i] {
+				t.Fatalf("workers=%d: adjEdges[%d] = %d, want %d", workers, i, p.adjEdges[i], ref.adjEdges[i])
+			}
+		}
+	}
+}
+
+func BenchmarkBuildAdj(b *testing.B) {
+	g := Gnm(200000, 2000000, rng.New(9))
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h := &Graph{N: g.N, Edges: g.Edges}
+				if bc.workers == 1 {
+					h.buildAdjSerial()
+				} else {
+					h.buildAdjWorkers(bc.workers)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,50 @@
+package graphio
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// benchInstance is a ≥10⁶-edge weighted instance, the scale at which the
+// text parser becomes the bmatchd ingest bottleneck.
+func benchInstance(tb testing.TB) (*graph.Graph, graph.Budgets) {
+	tb.Helper()
+	r := rng.New(5)
+	g := graph.GnmWeighted(100000, 1000000, 1, 10, r.Split())
+	b := graph.RandomBudgets(100000, 1, 4, r.Split())
+	return g, b
+}
+
+func BenchmarkIngest1MEdges(b *testing.B) {
+	g, bud := benchInstance(b)
+	var txt, bin bytes.Buffer
+	if err := Write(&txt, g, bud); err != nil {
+		b.Fatal(err)
+	}
+	if err := WriteBinary(&bin, g, bud); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("text %0.1f MB, binary %0.1f MB", float64(txt.Len())/1e6, float64(bin.Len())/1e6)
+
+	b.Run("text", func(b *testing.B) {
+		b.SetBytes(int64(txt.Len()))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := DecodeAny(txt.Bytes()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("binary", func(b *testing.B) {
+		b.SetBytes(int64(bin.Len()))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := DecodeAny(bin.Bytes()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

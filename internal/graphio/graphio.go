@@ -17,6 +17,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -47,6 +48,12 @@ func Write(w io.Writer, g *graph.Graph, b graph.Budgets) error {
 
 // Read parses a graph and budgets. Budgets default to 1 for every vertex.
 func Read(r io.Reader) (*graph.Graph, graph.Budgets, error) {
+	return readLimits(r, Limits{})
+}
+
+// readLimits is Read with resource bounds (see Limits); counts are checked
+// as they are parsed, before any count-sized allocation.
+func readLimits(r io.Reader, lim Limits) (*graph.Graph, graph.Budgets, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var (
@@ -72,6 +79,9 @@ func Read(r io.Reader) (*graph.Graph, graph.Budgets, error) {
 			if err != nil || v < 0 {
 				return nil, nil, fmt.Errorf("graphio: line %d: bad vertex count %q", line, fields[1])
 			}
+			if err := lim.checkN(v); err != nil {
+				return nil, nil, err
+			}
 			n = v
 		case "b":
 			if len(fields) != 3 {
@@ -79,8 +89,14 @@ func Read(r io.Reader) (*graph.Graph, graph.Budgets, error) {
 			}
 			v, err1 := strconv.Atoi(fields[1])
 			x, err2 := strconv.Atoi(fields[2])
-			if err1 != nil || err2 != nil {
+			if err1 != nil || err2 != nil || v < 0 {
 				return nil, nil, fmt.Errorf("graphio: line %d: bad budget line", line)
+			}
+			// Bound as parsed, not after: without this a body of distinct
+			// out-of-range 'b' lines fills an unbounded map before the
+			// final range check runs.
+			if lim.MaxVertices > 0 && v >= lim.MaxVertices {
+				return nil, nil, fmt.Errorf("graphio: line %d: budget vertex %d exceeds limit %d", line, v, lim.MaxVertices)
 			}
 			budges[v] = x
 		case "e":
@@ -89,7 +105,9 @@ func Read(r io.Reader) (*graph.Graph, graph.Budgets, error) {
 			}
 			u, err1 := strconv.Atoi(fields[1])
 			v, err2 := strconv.Atoi(fields[2])
-			if err1 != nil || err2 != nil {
+			if err1 != nil || err2 != nil || u < 0 || v < 0 || u > math.MaxInt32 || v > math.MaxInt32 {
+				// The int32 bound matters on 64-bit platforms: without it a
+				// huge endpoint would truncate into range silently.
 				return nil, nil, fmt.Errorf("graphio: line %d: bad endpoints", line)
 			}
 			w := 1.0
@@ -101,6 +119,9 @@ func Read(r io.Reader) (*graph.Graph, graph.Budgets, error) {
 				}
 			}
 			edges = append(edges, graph.Edge{U: int32(u), V: int32(v), W: w})
+			if err := lim.checkM(len(edges)); err != nil {
+				return nil, nil, err
+			}
 		default:
 			// Compatibility: a bare integer first line is the vertex count;
 			// bare "u v [w]" lines are edges.
@@ -109,13 +130,19 @@ func Read(r io.Reader) (*graph.Graph, graph.Budgets, error) {
 				if err != nil {
 					return nil, nil, fmt.Errorf("graphio: line %d: unrecognized %q", line, text)
 				}
+				if v < 0 {
+					return nil, nil, fmt.Errorf("graphio: line %d: bad vertex count %q", line, text)
+				}
+				if err := lim.checkN(v); err != nil {
+					return nil, nil, err
+				}
 				n = v
 				continue
 			}
 			if len(fields) == 2 || len(fields) == 3 {
 				u, err1 := strconv.Atoi(fields[0])
 				v, err2 := strconv.Atoi(fields[1])
-				if err1 != nil || err2 != nil {
+				if err1 != nil || err2 != nil || u < 0 || v < 0 || u > math.MaxInt32 || v > math.MaxInt32 {
 					return nil, nil, fmt.Errorf("graphio: line %d: unrecognized %q", line, text)
 				}
 				w := 1.0
@@ -127,6 +154,9 @@ func Read(r io.Reader) (*graph.Graph, graph.Budgets, error) {
 					}
 				}
 				edges = append(edges, graph.Edge{U: int32(u), V: int32(v), W: w})
+				if err := lim.checkM(len(edges)); err != nil {
+					return nil, nil, err
+				}
 				continue
 			}
 			return nil, nil, fmt.Errorf("graphio: line %d: unrecognized %q", line, text)
@@ -168,12 +198,13 @@ func WriteFile(path string, g *graph.Graph, b graph.Budgets) error {
 	return f.Close()
 }
 
-// ReadFile reads a graph and budgets from path.
+// ReadFile reads a graph and budgets from path, auto-detecting the text or
+// binary format from the leading bytes.
 func ReadFile(path string) (*graph.Graph, graph.Budgets, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer f.Close()
-	return Read(f)
+	return ReadAny(f)
 }

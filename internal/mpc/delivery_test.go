@@ -191,6 +191,23 @@ func TestReleasePanicsOnOverRelease(t *testing.T) {
 	})
 }
 
+// TestChargePanicsOnNegative pins the symmetric invariant: a negative
+// charge is a disguised release and must not silently deflate the
+// MaxMachineWords observable.
+func TestChargePanicsOnNegative(t *testing.T) {
+	s := NewSim(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative charge")
+		}
+	}()
+	s.Round(func(m *Machine) {
+		if m.ID == 0 {
+			m.Charge(-1)
+		}
+	})
+}
+
 func TestNewSimWithWorkersAccessors(t *testing.T) {
 	s := NewSimWithWorkers(8, 3)
 	if s.Machines() != 8 || s.Workers() != 3 {
@@ -235,4 +252,19 @@ func TestPrimitivesDeterministicAcrossWorkers(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestReleasePanicsOnNegativeAmount mirrors the Charge invariant: a
+// negative release is a disguised charge.
+func TestReleasePanicsOnNegativeAmount(t *testing.T) {
+	s := NewSim(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative release amount")
+		}
+	}()
+	s.Round(func(m *Machine) {
+		m.Charge(5)
+		m.Release(-1)
+	})
 }

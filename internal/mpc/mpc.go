@@ -16,14 +16,18 @@
 // are reused across rounds; consequently the slice returned by
 // Machine.Recv is only valid for the duration of the round callback.
 // Slices returned by Exchange are owned by the caller and stay valid.
+//
+// Memory accounting is hardened: Machine.Release panics when a machine's
+// resident balance would go negative, and Machine.Charge panics on a
+// negative amount — either would silently corrupt the MaxMachineWords
+// observable the experiment tables report.
 package mpc
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
+
+	"repro/internal/par"
 )
 
 // Message is a unit of communication. Words is its size in machine words,
@@ -80,13 +84,9 @@ type deliverShard struct {
 func NewSim(n int) *Sim { return NewSimWithWorkers(n, 0) }
 
 // PoolSize resolves a requested worker count to the effective pool width:
-// values ≤ 0 select GOMAXPROCS.
-func PoolSize(workers int) int {
-	if workers <= 0 {
-		return runtime.GOMAXPROCS(0)
-	}
-	return workers
-}
+// values ≤ 0 select GOMAXPROCS. It is par.PoolSize, re-exported alongside
+// ParallelFor.
+func PoolSize(workers int) int { return par.PoolSize(workers) }
 
 // NewSimWithWorkers returns a simulator with n machines whose compute and
 // delivery phases run on workers goroutines. workers ≤ 0 selects
@@ -150,15 +150,26 @@ func (m *Machine) Send(to int, key int64, payload any, words int64) {
 
 // Charge records words of data becoming resident on this machine (input
 // shards, local state). Used for the local-memory high-water experiments.
+// Charging a negative amount panics, symmetric with Release: a negative
+// charge is a disguised release that would silently deflate the
+// MaxMachineWords observable instead of tripping the Release invariant.
 func (m *Machine) Charge(words int64) {
+	if words < 0 {
+		panic(fmt.Sprintf("mpc: machine %d charged negative %d words", m.ID, words))
+	}
 	m.sim.resident[m.ID] += words
 }
 
 // Release records words of resident data being freed. Releasing more than
 // is resident panics: a negative balance means the algorithm's memory
 // accounting is wrong, and silently clamping would let the bug corrupt the
-// MaxMachineWords observable.
+// MaxMachineWords observable. A negative amount panics for the same
+// reason — it is a disguised charge that would dodge the high-water
+// update in Round's accounting.
 func (m *Machine) Release(words int64) {
+	if words < 0 {
+		panic(fmt.Sprintf("mpc: machine %d released negative %d words", m.ID, words))
+	}
 	m.sim.resident[m.ID] -= words
 	if m.sim.resident[m.ID] < 0 {
 		panic(fmt.Sprintf("mpc: machine %d released %d words with only %d resident",
@@ -168,64 +179,10 @@ func (m *Machine) Release(words int64) {
 
 // ParallelFor runs f(0), ..., f(n-1) on a pool of workers goroutines
 // (workers ≤ 0 selects GOMAXPROCS) and returns when all calls completed.
-// Panics inside f are collected and one is re-raised in the caller's
-// goroutine after the remaining items ran, so a failure behaves like an
-// ordinary panic regardless of which worker hit it. Iteration order is
-// unspecified; f must be safe for the concurrency it is given.
-func ParallelFor(workers, n int, f func(int)) {
-	workers = PoolSize(workers)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		// Same panic contract as the parallel path: run every item, then
-		// re-raise the first captured panic.
-		var first any
-		for i := 0; i < n; i++ {
-			func() {
-				defer func() {
-					if r := recover(); r != nil && first == nil {
-						first = r
-					}
-				}()
-				f(i)
-			}()
-		}
-		if first != nil {
-			panic(first)
-		}
-		return
-	}
-	var next atomic.Int64
-	panics := make(chan any, n)
-	var wg sync.WaitGroup
-	for g := 0; g < workers; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				func() {
-					defer func() {
-						if r := recover(); r != nil {
-							panics <- r
-						}
-					}()
-					f(i)
-				}()
-			}
-		}()
-	}
-	wg.Wait()
-	select {
-	case p := <-panics:
-		panic(p)
-	default:
-	}
-}
+// It is par.ParallelFor, re-exported because the simulator is where
+// algorithm code already looks for its parallelism knobs; see
+// internal/par for the contract.
+func ParallelFor(workers, n int, f func(int)) { par.ParallelFor(workers, n, f) }
 
 // Round executes one superstep: fn runs for every machine in parallel, then
 // queued messages are delivered. It returns after delivery, with all

@@ -1,0 +1,81 @@
+// Package par holds the worker-pool primitives shared by the simulator and
+// the data-structure layers. It is a leaf package — it must not import
+// anything from this repository — so substrate packages like graph can
+// parallelize hot paths without depending on the MPC simulator.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// PoolSize resolves a requested worker count to the effective pool width:
+// values ≤ 0 select GOMAXPROCS.
+func PoolSize(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// ParallelFor runs f(0), ..., f(n-1) on a pool of workers goroutines
+// (workers ≤ 0 selects GOMAXPROCS) and returns when all calls completed.
+// Panics inside f are collected and one is re-raised in the caller's
+// goroutine after the remaining items ran, so a failure behaves like an
+// ordinary panic regardless of which worker hit it. Iteration order is
+// unspecified; f must be safe for the concurrency it is given.
+func ParallelFor(workers, n int, f func(int)) {
+	workers = PoolSize(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		// Same panic contract as the parallel path: run every item, then
+		// re-raise the first captured panic.
+		var first any
+		for i := 0; i < n; i++ {
+			func() {
+				defer func() {
+					if r := recover(); r != nil && first == nil {
+						first = r
+					}
+				}()
+				f(i)
+			}()
+		}
+		if first != nil {
+			panic(first)
+		}
+		return
+	}
+	var next atomic.Int64
+	panics := make(chan any, n)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panics <- r
+						}
+					}()
+					f(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case p := <-panics:
+		panic(p)
+	default:
+	}
+}

@@ -1,0 +1,51 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelForCoversAllItems(t *testing.T) {
+	for _, workers := range []int{1, 3, 0} {
+		var hits [97]atomic.Int32
+		ParallelFor(workers, len(hits), func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+func TestParallelForReraisesPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("workers=%d: panic not re-raised", workers)
+				}
+			}()
+			ParallelFor(workers, 8, func(i int) {
+				ran.Add(1)
+				if i == 3 {
+					panic("boom")
+				}
+			})
+		}()
+		// The contract is that remaining items still run before the
+		// re-raise.
+		if ran.Load() != 8 {
+			t.Fatalf("workers=%d: only %d/8 items ran", workers, ran.Load())
+		}
+	}
+}
+
+func TestPoolSize(t *testing.T) {
+	if PoolSize(5) != 5 {
+		t.Fatal("explicit width not honored")
+	}
+	if PoolSize(0) < 1 || PoolSize(-3) < 1 {
+		t.Fatal("defaulted width must be at least 1")
+	}
+}

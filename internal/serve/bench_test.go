@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/graph"
+	"repro/internal/graphio"
+	"repro/internal/rng"
+)
+
+// BenchmarkSolvePerRequest compares the one-shot path (decode + solve from
+// scratch per request, what cmd/bmatch does) against a reused session
+// (alias-table instance hit, then solve) and against a full result-cache
+// hit. The solver seed and parameters are identical, so the deltas isolate
+// the serving-layer reuse.
+func BenchmarkSolvePerRequest(b *testing.B) {
+	r := rng.New(3)
+	g := graph.GnmWeighted(20000, 200000, 1, 10, r.Split())
+	bud := graph.RandomBudgets(20000, 1, 4, r.Split())
+	payload := graphio.AppendBinary(g, bud)
+	// The greedy solver keeps per-iteration solver cost small relative to
+	// ingest, which is what the serving layer can actually save; the reuse
+	// deltas are identical for the (1+ε) algorithms.
+	spec := Spec{Algo: AlgoGreedy, Seed: 1, Workers: 1, NoCache: true}
+
+	b.Run("oneshot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			gg, bb, err := graphio.DecodeAny(payload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if m := baseline.GreedyWeighted(gg, bb); m.Size() == 0 {
+				b.Fatal("empty matching")
+			}
+		}
+	})
+	b.Run("session", func(b *testing.B) {
+		s := NewSession(nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			inst, err := s.Instance(payload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Solve(inst, spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("session-cached", func(b *testing.B) {
+		s := NewSession(nil)
+		cached := spec
+		cached.NoCache = false
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			inst, err := s.Instance(payload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Solve(inst, cached); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

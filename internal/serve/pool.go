@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graphio"
+)
+
+// ErrQueueFull is returned by Submit when the bounded request queue is at
+// capacity; HTTP maps it to 429 so clients can back off.
+var ErrQueueFull = errors.New("serve: request queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("serve: pool closed")
+
+// ErrDecodeBusy is returned by DecodeFrom when all decode slots are taken;
+// HTTP maps it to 429. Decoding (body buffering + adjacency building) is
+// the most expensive pre-solve stage, so it gets its own admission bound
+// rather than running unboundedly on handler goroutines.
+var ErrDecodeBusy = errors.New("serve: too many concurrent decodes")
+
+// PoolConfig sizes the worker pool. Zero values select the defaults.
+type PoolConfig struct {
+	// Workers is the number of solver workers, each owning a Session
+	// (default 4).
+	Workers int
+	// QueueDepth bounds requests admitted but not yet solving (default
+	// 4 × Workers). Beyond it, Submit fails fast with ErrQueueFull.
+	QueueDepth int
+	// BatchMax bounds how many queued requests one worker coalesces
+	// back-to-back (default 8). Only requests identical to the one being
+	// served — same instance, same spec — are coalesced: the first solve
+	// computes, the rest are result-cache hits, so a thundering herd of
+	// identical requests occupies one worker instead of the whole pool.
+	BatchMax int
+	// SolverWorkers is each solve's internal parallelism (default 1:
+	// with many concurrent requests, parallelism should come from the
+	// request level, not nested worker pools).
+	SolverWorkers int
+	// DecodeSlots bounds concurrent request decodes (default 2 × Workers).
+	DecodeSlots int
+	// MaxVertices and MaxEdges bound accepted instances; the formats
+	// declare counts up front, so without bounds a handful of tiny
+	// hostile payloads could demand multi-gigabyte allocations. 0 selects
+	// the defaults (2^24 vertices, 2^25 edges); negative disables the
+	// bound.
+	MaxVertices int
+	MaxEdges    int
+	Cache       CacheConfig
+}
+
+func (c PoolConfig) withDefaults() PoolConfig {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 8
+	}
+	if c.SolverWorkers <= 0 {
+		c.SolverWorkers = 1
+	}
+	if c.DecodeSlots <= 0 {
+		c.DecodeSlots = 2 * c.Workers
+	}
+	if c.MaxVertices == 0 {
+		c.MaxVertices = 1 << 24
+	}
+	if c.MaxEdges == 0 {
+		c.MaxEdges = 1 << 25
+	}
+	return c
+}
+
+// limits converts the config bounds to decoder limits (negative = off).
+func (c PoolConfig) limits() graphio.Limits {
+	var lim graphio.Limits
+	if c.MaxVertices > 0 {
+		lim.MaxVertices = c.MaxVertices
+	}
+	if c.MaxEdges > 0 {
+		lim.MaxEdges = c.MaxEdges
+	}
+	return lim
+}
+
+// PoolStats are the pool's observability counters.
+type PoolStats struct {
+	Workers   int   `json:"workers"`
+	QueueLen  int   `json:"queueLen"`
+	Submitted int64 `json:"submitted"`
+	Rejected  int64 `json:"rejected"`
+	// DecodeRejected counts 429s from decode-slot exhaustion, separate
+	// from queue-full Rejected: the remedies differ (-decode-slots vs
+	// -queue/-workers).
+	DecodeRejected int64 `json:"decodeRejected"`
+	Completed      int64 `json:"completed"`
+	Canceled       int64 `json:"canceled"`
+	Errors         int64 `json:"errors"`
+	Batches        int64 `json:"batches"`
+	MaxBatch       int64 `json:"maxBatch"`
+}
+
+type job struct {
+	ctx  context.Context
+	inst *Instance
+	spec Spec
+	done chan jobDone
+}
+
+type jobDone struct {
+	res *Result
+	err error
+}
+
+// Pool runs solves on a fixed set of workers behind a bounded queue. Each
+// worker owns a Session; all sessions share one Cache, so any worker can
+// serve any instance warm.
+type Pool struct {
+	cfg       PoolConfig
+	cache     *Cache
+	queue     chan *job
+	decodeSem chan struct{}
+	wg        sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+
+	submitted      atomic.Int64
+	rejected       atomic.Int64
+	decodeRejected atomic.Int64
+	completed      atomic.Int64
+	canceled       atomic.Int64
+	errs           atomic.Int64
+	batches        atomic.Int64
+	maxBatch       atomic.Int64
+
+	// decodeSessions hands out sessions for request decoding on handler
+	// goroutines, separate from the solver workers' own sessions.
+	decodeSessions sync.Pool
+}
+
+// NewPool starts a pool.
+func NewPool(cfg PoolConfig) *Pool {
+	cfg = cfg.withDefaults()
+	p := &Pool{
+		cfg:       cfg,
+		cache:     NewCache(cfg.Cache),
+		queue:     make(chan *job, cfg.QueueDepth),
+		decodeSem: make(chan struct{}, cfg.DecodeSlots),
+	}
+	p.decodeSessions.New = func() any {
+		s := NewSession(p.cache)
+		s.Limits = cfg.limits()
+		return s
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Cache returns the pool's shared cache.
+func (p *Pool) Cache() *Cache { return p.cache }
+
+// Decode parses a payload into a cached instance using a pooled decode
+// session. Safe for concurrent use.
+func (p *Pool) Decode(payload []byte) (*Instance, error) {
+	s := p.decodeSessions.Get().(*Session)
+	defer p.decodeSessions.Put(s)
+	return s.Instance(payload)
+}
+
+// DecodeFrom reads a request body into a pooled session's reused buffer
+// and decodes it, failing fast with ErrDecodeBusy when all decode slots
+// are taken. Safe for concurrent use.
+func (p *Pool) DecodeFrom(r io.Reader, limit int64) (*Instance, error) {
+	select {
+	case p.decodeSem <- struct{}{}:
+	default:
+		p.decodeRejected.Add(1)
+		return nil, ErrDecodeBusy
+	}
+	defer func() { <-p.decodeSem }()
+	s := p.decodeSessions.Get().(*Session)
+	defer p.decodeSessions.Put(s)
+	return s.ReadInstance(r, limit)
+}
+
+// Submit enqueues a solve and waits for its result. It fails fast with
+// ErrQueueFull when the queue is at capacity and returns ctx's error if the
+// caller gives up while queued (the solve itself is then skipped by the
+// worker).
+func (p *Pool) Submit(ctx context.Context, inst *Instance, spec Spec) (*Result, error) {
+	spec.Workers = p.cfg.SolverWorkers
+	j := &job{ctx: ctx, inst: inst, spec: spec, done: make(chan jobDone, 1)}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	select {
+	case p.queue <- j:
+		p.mu.Unlock()
+	default:
+		p.mu.Unlock()
+		p.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	p.submitted.Add(1)
+	select {
+	case d := <-j.done:
+		return d.res, d.err
+	case <-ctx.Done():
+		p.canceled.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
+// Close drains the queue and stops the workers. Queued jobs still complete.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.queue)
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	s := NewSession(p.cache)
+	s.Limits = p.cfg.limits()
+	batch := make([]*job, 0, p.cfg.BatchMax)
+	var carry *job
+	for {
+		var j *job
+		if carry != nil {
+			j, carry = carry, nil
+		} else {
+			var ok bool
+			j, ok = <-p.queue
+			if !ok {
+				return
+			}
+		}
+		// Opportunistic bounded coalescing: drain queued requests that
+		// are identical to this one (same instance, same spec). The first
+		// solve computes, the rest are result-cache hits on this session,
+		// so a burst of identical requests occupies one worker and leaves
+		// the rest of the pool free for distinct work. The first
+		// non-matching job is carried over, bounding head-of-line
+		// blocking to a single request.
+		batch = append(batch[:0], j)
+		if !j.spec.NoCache {
+		drain:
+			for len(batch) < p.cfg.BatchMax {
+				select {
+				case jj, ok := <-p.queue:
+					if !ok {
+						break drain
+					}
+					if jj.inst != j.inst || jj.spec != j.spec {
+						carry = jj
+						break drain
+					}
+					batch = append(batch, jj)
+				default:
+					break drain
+				}
+			}
+		}
+		p.batches.Add(1)
+		for {
+			cur := p.maxBatch.Load()
+			if int64(len(batch)) <= cur || p.maxBatch.CompareAndSwap(cur, int64(len(batch))) {
+				break
+			}
+		}
+		for _, jj := range batch {
+			p.run(s, jj)
+		}
+	}
+}
+
+func (p *Pool) run(s *Session, j *job) {
+	if err := j.ctx.Err(); err != nil {
+		j.done <- jobDone{err: err}
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			p.errs.Add(1)
+			j.done <- jobDone{err: fmt.Errorf("serve: solver panic: %v", r)}
+		}
+	}()
+	res, err := s.Solve(j.inst, j.spec)
+	if err != nil {
+		p.errs.Add(1)
+	} else {
+		p.completed.Add(1)
+	}
+	j.done <- jobDone{res: res, err: err}
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Workers:        p.cfg.Workers,
+		QueueLen:       len(p.queue),
+		Submitted:      p.submitted.Load(),
+		Rejected:       p.rejected.Load(),
+		DecodeRejected: p.decodeRejected.Load(),
+		Completed:      p.completed.Load(),
+		Canceled:       p.canceled.Load(),
+		Errors:         p.errs.Load(),
+		Batches:        p.batches.Load(),
+		MaxBatch:       p.maxBatch.Load(),
+	}
+}

@@ -1,0 +1,399 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/graphio"
+	"repro/internal/matching"
+	"repro/internal/rng"
+)
+
+func testInstancePayload(tb testing.TB) (*graph.Graph, graph.Budgets, []byte) {
+	tb.Helper()
+	r := rng.New(7)
+	g, b := graph.ClientServer(160, 10, 5, 3, 20, r.Split())
+	return g, b, graphio.AppendBinary(g, b)
+}
+
+type solveResponse struct {
+	Algo     string  `json:"algo"`
+	Instance string  `json:"instance"`
+	N        int     `json:"n"`
+	M        int     `json:"m"`
+	Size     int     `json:"size"`
+	Weight   float64 `json:"weight"`
+	Feasible bool    `json:"feasible"`
+	Cached   bool    `json:"cached"`
+	Cert     *struct {
+		DualBound float64 `json:"dualBound"`
+		FracValue float64 `json:"fracValue"`
+	} `json:"cert"`
+	Edges []int32 `json:"edges"`
+}
+
+func postSolve(t *testing.T, client *http.Client, url string, payload []byte, query string) (*solveResponse, int) {
+	t.Helper()
+	resp, err := client.Post(url+"/v1/solve?"+query, "application/octet-stream", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		json.NewDecoder(resp.Body).Decode(&eb)
+		return nil, resp.StatusCode
+	}
+	var out solveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return &out, resp.StatusCode
+}
+
+// checkFeasible rebuilds the matching from returned edge ids and validates
+// every budget constraint client-side.
+func checkFeasible(t *testing.T, g *graph.Graph, b graph.Budgets, edges []int32, wantSize int) {
+	t.Helper()
+	m := matching.MustNew(g, b)
+	for _, e := range edges {
+		if err := m.Add(e); err != nil {
+			t.Fatalf("returned edge %d infeasible: %v", e, err)
+		}
+	}
+	if m.Size() != wantSize {
+		t.Fatalf("size field %d != |edges| %d", wantSize, m.Size())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentMaxWeight pins the headline acceptance criterion: ≥32
+// concurrent MaxWeight requests are all answered correctly (feasible
+// matchings) and deterministically per seed.
+func TestConcurrentMaxWeight(t *testing.T) {
+	g, b, payload := testInstancePayload(t)
+	srv := NewServer(ServerConfig{Pool: PoolConfig{Workers: 8, QueueDepth: 64}})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const requests = 48
+	const seeds = 6
+	results := make([]*solveResponse, requests)
+	var wg sync.WaitGroup
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// nocache on a third of the requests so real concurrent solves
+			// are exercised alongside cache hits.
+			q := fmt.Sprintf("algo=maxw&seed=%d&eps=0.25&nocache=%t", i%seeds, i%3 == 0)
+			out, code := postSolve(t, ts.Client(), ts.URL, payload, q)
+			if code != http.StatusOK {
+				t.Errorf("request %d: status %d", i, code)
+				return
+			}
+			results[i] = out
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	bySeed := map[int]*solveResponse{}
+	for i, out := range results {
+		if !out.Feasible {
+			t.Fatalf("request %d reported infeasible", i)
+		}
+		checkFeasible(t, g, b, out.Edges, out.Size)
+		seed := i % seeds
+		if prev, ok := bySeed[seed]; ok {
+			if prev.Size != out.Size || prev.Weight != out.Weight {
+				t.Fatalf("seed %d nondeterministic: size/weight %d/%v vs %d/%v",
+					seed, prev.Size, prev.Weight, out.Size, out.Weight)
+			}
+			for j := range prev.Edges {
+				if prev.Edges[j] != out.Edges[j] {
+					t.Fatalf("seed %d nondeterministic at edge %d", seed, j)
+				}
+			}
+		} else {
+			bySeed[seed] = out
+		}
+	}
+	if len(bySeed) != seeds {
+		t.Fatalf("expected %d distinct seeds, got %d", seeds, len(bySeed))
+	}
+}
+
+// TestAllAlgosServe exercises each algo end-to-end over HTTP, including the
+// approx certificate fields.
+func TestAllAlgosServe(t *testing.T) {
+	g, b, payload := testInstancePayload(t)
+	srv := NewServer(ServerConfig{Pool: PoolConfig{Workers: 2}})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, algo := range []string{"approx", "max", "maxw", "greedy"} {
+		out, code := postSolve(t, ts.Client(), ts.URL, payload, "algo="+algo+"&seed=3")
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d", algo, code)
+		}
+		if out.Algo != algo || out.N != g.N || out.M != g.M() {
+			t.Fatalf("%s: echo fields wrong: %+v", algo, out)
+		}
+		checkFeasible(t, g, b, out.Edges, out.Size)
+		if algo == "approx" {
+			if out.Cert == nil || out.Cert.DualBound <= 0 {
+				t.Fatalf("approx: missing dual certificate: %+v", out.Cert)
+			}
+			if float64(out.Size) > out.Cert.DualBound {
+				t.Fatalf("approx: size %d exceeds dual bound %v", out.Size, out.Cert.DualBound)
+			}
+		}
+	}
+}
+
+// TestResultAndInstanceCache: the second identical request must be a cache
+// hit, and text/binary posts of the same graph must share one instance.
+func TestResultAndInstanceCache(t *testing.T) {
+	g, b, payload := testInstancePayload(t)
+	srv := NewServer(ServerConfig{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	first, _ := postSolve(t, ts.Client(), ts.URL, payload, "algo=greedy&seed=1")
+	second, _ := postSolve(t, ts.Client(), ts.URL, payload, "algo=greedy&seed=1")
+	if first.Cached || !second.Cached {
+		t.Fatalf("cached flags: first=%t second=%t, want false/true", first.Cached, second.Cached)
+	}
+	if first.Size != second.Size || first.Weight != second.Weight {
+		t.Fatal("cache returned a different result")
+	}
+
+	// Same graph in text form must resolve to the same canonical instance.
+	var txt bytes.Buffer
+	if err := graphio.Write(&txt, g, b); err != nil {
+		t.Fatal(err)
+	}
+	third, _ := postSolve(t, ts.Client(), ts.URL, txt.Bytes(), "algo=greedy&seed=1")
+	if third.Instance != first.Instance {
+		t.Fatalf("text and binary posts got different instance keys: %s vs %s", third.Instance, first.Instance)
+	}
+	if !third.Cached {
+		t.Fatal("canonicalized text post missed the result cache")
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, _, payload := testInstancePayload(t)
+	srv := NewServer(ServerConfig{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name    string
+		query   string
+		payload []byte
+		want    int
+	}{
+		{"bad algo", "algo=nope", payload, http.StatusBadRequest},
+		{"eps too big", "algo=maxw&eps=1.5", payload, http.StatusBadRequest},
+		{"negative eps", "algo=maxw&eps=-0.5", payload, http.StatusBadRequest},
+		{"eps NaN", "algo=maxw&eps=NaN", payload, http.StatusBadRequest},
+		{"bad seed", "algo=maxw&seed=xyz", payload, http.StatusBadRequest},
+		{"garbage body", "algo=maxw", []byte("BMG1\x00\x05"), http.StatusBadRequest},
+		{"truncated text", "algo=maxw", []byte("n 5\ne 0"), http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if _, code := postSolve(t, ts.Client(), ts.URL, tc.payload, tc.query); code != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, code, tc.want)
+		}
+	}
+}
+
+func TestBodyLimit(t *testing.T) {
+	_, _, payload := testInstancePayload(t)
+	srv := NewServer(ServerConfig{MaxBodyBytes: 16})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if _, code := postSolve(t, ts.Client(), ts.URL, payload, "algo=greedy"); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", code)
+	}
+}
+
+// TestQueueFull pins the bounded-admission contract at the Pool level: with
+// one blocked worker and a single queue slot, an extra submit fails fast
+// with ErrQueueFull.
+func TestQueueFull(t *testing.T) {
+	p := NewPool(PoolConfig{Workers: 1, QueueDepth: 1, BatchMax: 1})
+	defer p.Close()
+	_, _, payload := testInstancePayload(t)
+	inst, err := p.Decode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate: one job running (worker pulled it), one in the queue slot.
+	// maxw on this instance is slow enough to hold the worker while the
+	// rest of the test runs.
+	type res struct {
+		err error
+	}
+	done := make(chan res, 3)
+	submit := func(seed int64) {
+		// The two saturators race each other for the single queue slot, so
+		// one may itself bounce; retry until it is admitted.
+		for {
+			_, err := p.Submit(context.Background(), inst, Spec{Algo: AlgoMaxWeight, Seed: seed, NoCache: true})
+			if err != ErrQueueFull {
+				done <- res{err}
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	go submit(1)
+	go submit(2)
+	// Wait until one job is running and the queue slot is full.
+	for i := 0; len(p.queue) < 1; i++ {
+		if i > 5000 {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var sawFull bool
+	for try := int64(0); try < 200 && !sawFull; try++ {
+		_, err := p.Submit(context.Background(), inst, Spec{Algo: AlgoGreedy, Seed: 100 + try, NoCache: true})
+		sawFull = err == ErrQueueFull
+	}
+	if !sawFull {
+		t.Error("never observed ErrQueueFull with a saturated queue")
+	}
+	for i := 0; i < 2; i++ {
+		if r := <-done; r.err != nil {
+			t.Fatalf("saturating job failed: %v", r.err)
+		}
+	}
+}
+
+// TestPoolBatching: while a slow job holds the single worker, a burst of
+// identical requests piles up and is coalesced into one batch (first
+// computes, the rest hit the result cache); a non-matching job must still
+// complete via the carry-over path.
+func TestPoolBatching(t *testing.T) {
+	p := NewPool(PoolConfig{Workers: 1, QueueDepth: 16, BatchMax: 8})
+	defer p.Close()
+	_, _, payload := testInstancePayload(t)
+	inst, err := p.Decode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	submit := func(spec Spec) {
+		defer wg.Done()
+		if _, err := p.Submit(context.Background(), inst, spec); err != nil {
+			t.Errorf("submit %+v: %v", spec, err)
+		}
+	}
+	// Occupy the worker so the rest of the burst queues up behind it.
+	wg.Add(1)
+	go submit(Spec{Algo: AlgoMaxWeight, Seed: 99, NoCache: true})
+	time.Sleep(50 * time.Millisecond)
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go submit(Spec{Algo: AlgoGreedy, Seed: 1})
+	}
+	time.Sleep(50 * time.Millisecond)
+	wg.Add(1)
+	go submit(Spec{Algo: AlgoGreedy, Seed: 2}) // distinct: must not coalesce
+	wg.Wait()
+	st := p.Stats()
+	if st.Completed != 8 {
+		t.Fatalf("completed = %d, want 8", st.Completed)
+	}
+	if st.MaxBatch < 2 {
+		t.Logf("note: max batch %d (timing-dependent; coalescing not observed this run)", st.MaxBatch)
+	}
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	_, _, payload := testInstancePayload(t)
+	srv := NewServer(ServerConfig{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	postSolve(t, ts.Client(), ts.URL, payload, "algo=greedy")
+	postSolve(t, ts.Client(), ts.URL, payload, "algo=greedy")
+
+	resp, err = ts.Client().Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsBody
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Pool.Completed < 1 {
+		t.Fatalf("stats did not count completions: %+v", st.Pool)
+	}
+	if st.Cache.ResultHits < 1 {
+		t.Fatalf("stats did not count the repeat-request cache hit: %+v", st.Cache)
+	}
+}
+
+// TestHostileCountsRejected pins the confirmed DoS fix: an 11-byte payload
+// declaring 2^31-1 vertices must bounce with 400 at the request boundary
+// instead of allocating gigabytes.
+func TestHostileCountsRejected(t *testing.T) {
+	srv := NewServer(ServerConfig{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	hostile := []byte(graphio.BinaryMagic)
+	hostile = append(hostile, 0)
+	hostile = append(hostile, 0xff, 0xff, 0xff, 0xff, 0x07) // n = 2^31-1
+	hostile = append(hostile, 0, 0)
+	done := make(chan int, 1)
+	go func() {
+		_, code := postSolve(t, ts.Client(), ts.URL, hostile, "algo=greedy")
+		done <- code
+	}()
+	select {
+	case code := <-done:
+		if code != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("hostile payload hung the server (allocation happened before the limit check)")
+	}
+	if _, code := postSolve(t, ts.Client(), ts.URL, []byte("n 2147483647\n"), "algo=greedy"); code != http.StatusBadRequest {
+		t.Fatalf("text form: status %d, want 400", code)
+	}
+}

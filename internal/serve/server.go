@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// ServerConfig sizes the HTTP surface. Zero values select the defaults.
+type ServerConfig struct {
+	Pool PoolConfig
+	// MaxBodyBytes bounds accepted request bodies (default 256 MiB).
+	MaxBodyBytes int64
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 256 << 20
+	}
+	return c
+}
+
+// Server is the bmatchd HTTP surface:
+//
+//	POST /v1/solve?algo=approx|max|maxw|greedy&eps=&seed=&paper=&nocache=
+//	     body: instance in graphio text or binary format (sniffed)
+//	     response: JSON result; the matched-edge array is streamed
+//	GET  /v1/healthz
+//	GET  /v1/stats
+type Server struct {
+	cfg     ServerConfig
+	pool    *Pool
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// NewServer builds a server and its worker pool.
+func NewServer(cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		pool:    NewPool(cfg.Pool),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Pool returns the server's worker pool (for stats and tests).
+func (s *Server) Pool() *Pool { return s.pool }
+
+// Close stops the worker pool; queued requests still complete.
+func (s *Server) Close() { s.pool.Close() }
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	spec, err := specFromQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	inst, err := s.pool.DecodeFrom(r.Body, s.cfg.MaxBodyBytes)
+	switch {
+	case errors.Is(err, ErrDecodeBusy):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrBodyTooLarge):
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("serve: request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.pool.Submit(r.Context(), inst, spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client gave up while the request was queued.
+		writeError(w, http.StatusRequestTimeout, err)
+		return
+	case err != nil:
+		// The request was already validated, so what remains (solver
+		// panics, internal failures) is the server's fault, not the
+		// client's.
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	streamResult(w, res)
+}
+
+// specFromQuery parses and validates the solve parameters; validation at
+// the request boundary mirrors bmatch.Options.Validate.
+func specFromQuery(r *http.Request) (Spec, error) {
+	q := r.URL.Query()
+	spec := Spec{Algo: AlgoMaxWeight}
+	if a := q.Get("algo"); a != "" {
+		spec.Algo = Algo(a)
+	}
+	if e := q.Get("eps"); e != "" {
+		v, err := strconv.ParseFloat(e, 64)
+		if err != nil {
+			return spec, fmt.Errorf("serve: bad eps %q", e)
+		}
+		spec.Eps = v
+	}
+	if sd := q.Get("seed"); sd != "" {
+		v, err := strconv.ParseInt(sd, 10, 64)
+		if err != nil {
+			return spec, fmt.Errorf("serve: bad seed %q", sd)
+		}
+		spec.Seed = v
+	}
+	if p := q.Get("paper"); p != "" {
+		v, err := strconv.ParseBool(p)
+		if err != nil {
+			return spec, fmt.Errorf("serve: bad paper %q", p)
+		}
+		spec.PaperConstants = v
+	}
+	if nc := q.Get("nocache"); nc != "" {
+		v, err := strconv.ParseBool(nc)
+		if err != nil {
+			return spec, fmt.Errorf("serve: bad nocache %q", nc)
+		}
+		spec.NoCache = v
+	}
+	return spec, spec.Validate()
+}
+
+// streamResult writes the result as one JSON object, streaming the
+// matched-edge array in chunks so multi-million-edge matchings flow to the
+// client without a response-sized buffer.
+func streamResult(w http.ResponseWriter, res *Result) {
+	w.Header().Set("Content-Type", "application/json")
+	flusher, _ := w.(http.Flusher)
+
+	buf := make([]byte, 0, 1<<16)
+	buf = append(buf, `{"algo":`...)
+	buf = appendJSONString(buf, string(res.Algo))
+	buf = append(buf, `,"instance":`...)
+	buf = appendJSONString(buf, res.Instance)
+	buf = append(buf, `,"n":`...)
+	buf = strconv.AppendInt(buf, int64(res.N), 10)
+	buf = append(buf, `,"m":`...)
+	buf = strconv.AppendInt(buf, int64(res.M), 10)
+	buf = append(buf, `,"size":`...)
+	buf = strconv.AppendInt(buf, int64(res.Size), 10)
+	buf = append(buf, `,"weight":`...)
+	buf = strconv.AppendFloat(buf, res.Weight, 'g', -1, 64)
+	buf = append(buf, `,"feasible":`...)
+	buf = strconv.AppendBool(buf, res.Feasible)
+	buf = append(buf, `,"cached":`...)
+	buf = strconv.AppendBool(buf, res.FromCache)
+	if res.Algo == AlgoApprox {
+		buf = append(buf, `,"cert":{"dualBound":`...)
+		buf = strconv.AppendFloat(buf, res.DualBound, 'g', -1, 64)
+		buf = append(buf, `,"fracValue":`...)
+		buf = strconv.AppendFloat(buf, res.FracValue, 'g', -1, 64)
+		buf = append(buf, `},"mpc":{"compressionSteps":`...)
+		buf = strconv.AppendInt(buf, int64(res.CompressionSteps), 10)
+		buf = append(buf, `,"rounds":`...)
+		buf = strconv.AppendInt(buf, int64(res.MPCRounds), 10)
+		buf = append(buf, `,"maxMachineEdges":`...)
+		buf = strconv.AppendInt(buf, int64(res.MaxMachineEdges), 10)
+		buf = append(buf, '}')
+	}
+	buf = append(buf, `,"elapsedMs":`...)
+	buf = strconv.AppendFloat(buf, float64(res.Elapsed)/float64(time.Millisecond), 'g', 6, 64)
+	buf = append(buf, `,"edges":[`...)
+	for i, e := range res.Edges {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendInt(buf, int64(e), 10)
+		if len(buf) >= 1<<16-16 {
+			if _, err := w.Write(buf); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			buf = buf[:0]
+		}
+	}
+	buf = append(buf, `]}`...)
+	buf = append(buf, '\n')
+	w.Write(buf)
+}
+
+// appendJSONString appends s as a JSON string. Keys here are hex hashes and
+// algo names, so plain quoting suffices; anything unusual goes through the
+// encoder.
+func appendJSONString(buf []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if s[i] < 0x20 || s[i] == '"' || s[i] == '\\' || s[i] >= 0x80 {
+			enc, _ := json.Marshal(s)
+			return append(buf, enc...)
+		}
+	}
+	buf = append(buf, '"')
+	buf = append(buf, s...)
+	return append(buf, '"')
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"ok\":true,\"uptimeSec\":%.0f}\n", time.Since(s.started).Seconds())
+}
+
+// statsBody is the /v1/stats response.
+type statsBody struct {
+	Pool  PoolStats  `json:"pool"`
+	Cache CacheStats `json:"cache"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(statsBody{
+		Pool:  s.pool.Stats(),
+		Cache: s.pool.Cache().Stats(),
+	})
+}

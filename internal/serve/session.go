@@ -1,0 +1,385 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/augment"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/frac"
+	"repro/internal/graph"
+	"repro/internal/graphio"
+	"repro/internal/matching"
+	"repro/internal/rng"
+	"repro/internal/weighted"
+)
+
+// Instance is a decoded, adjacency-indexed problem instance. Instances are
+// immutable once built and shared across sessions via the Cache; Key is the
+// hex content hash of the canonical binary graphio encoding.
+type Instance struct {
+	Key string
+	G   *graph.Graph
+	B   graph.Budgets
+}
+
+// Algo selects a solver.
+type Algo string
+
+const (
+	AlgoApprox    Algo = "approx" // Θ(1)-approximate, with dual certificate
+	AlgoMax       Algo = "max"    // (1+ε)-approximate unweighted
+	AlgoMaxWeight Algo = "maxw"   // (1+ε)-approximate weighted
+	AlgoGreedy    Algo = "greedy" // weight-sorted greedy baseline (2-approximate)
+)
+
+// Spec is one solve request against an instance.
+type Spec struct {
+	Algo           Algo
+	Eps            float64 // 0 keeps the library default of 0.25
+	Seed           int64
+	PaperConstants bool
+	// Workers bounds the solver's internal parallelism; pool workers set
+	// this to 1 so concurrency comes from request-level parallelism.
+	Workers int
+	// NoCache makes the solve bypass the result cache entirely — neither
+	// served from it nor stored into it (Cache-Control: no-store
+	// semantics), so forced re-solves don't thrash the LRU.
+	NoCache bool
+}
+
+// DefaultEps is the approximation slack used when Eps is left zero.
+const DefaultEps = 0.25
+
+// ValidateEps is the single source of the ε contract, shared by
+// bmatch.Options, Spec, and the bmatchd request boundary: zero keeps the
+// default, (0,1) is accepted, and negative/NaN/Inf/≥1 are rejected — the
+// drivers' layer counts k = O(1/ε) and thresholds are undefined for them.
+func ValidateEps(eps float64) error {
+	if math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return fmt.Errorf("eps = %v is not finite", eps)
+	}
+	if eps < 0 {
+		return fmt.Errorf("eps = %v is negative (use 0 for the default)", eps)
+	}
+	if eps >= 1 {
+		return fmt.Errorf("eps = %v out of range; need 0 < ε < 1 (or 0 for the default)", eps)
+	}
+	return nil
+}
+
+// EpsOrDefault resolves a validated Eps field to the effective slack.
+func EpsOrDefault(eps float64) float64 {
+	if eps > 0 {
+		return eps
+	}
+	return DefaultEps
+}
+
+// Validate checks the algorithm name and the ε contract.
+func (sp Spec) Validate() error {
+	switch sp.Algo {
+	case AlgoApprox, AlgoMax, AlgoMaxWeight, AlgoGreedy:
+	default:
+		return fmt.Errorf("serve: unknown algo %q (want approx|max|maxw|greedy)", sp.Algo)
+	}
+	if err := ValidateEps(sp.Eps); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	return nil
+}
+
+func (sp Spec) eps() float64 { return EpsOrDefault(sp.Eps) }
+
+// resultKey identifies a solve in the result cache. Everything that can
+// change the output is part of the key.
+func (sp Spec) resultKey(instanceKey string) string {
+	return fmt.Sprintf("%s|%s|%g|%d|%t", instanceKey, sp.Algo, sp.eps(), sp.Seed, sp.PaperConstants)
+}
+
+// Result is a completed solve. Results are immutable and may be shared by
+// multiple requests via the cache; Edges must not be modified.
+type Result struct {
+	Algo     Algo
+	Instance string // instance content-hash key
+	N, M     int
+	Size     int
+	Weight   float64
+	Edges    []int32 // matched edge ids, increasing
+	Feasible bool
+
+	// Certificate and MPC observables (AlgoApprox only).
+	DualBound        float64
+	FracValue        float64
+	CompressionSteps int
+	MPCRounds        int
+	MaxMachineEdges  int
+
+	FromCache bool
+	Elapsed   time.Duration
+}
+
+// SessionStats counts what a session did.
+type SessionStats struct {
+	Decodes    int64 `json:"decodes"`
+	Solves     int64 `json:"solves"`
+	ResultHits int64 `json:"resultHits"`
+}
+
+// Session is a long-lived solver session: it owns reusable decode/encode
+// buffers and consults the shared cache for instances and results, so
+// serving many requests does not re-pay per-request setup allocations. A
+// Session is not safe for concurrent use; the Pool gives each worker its
+// own.
+type Session struct {
+	cache *Cache
+	body  []byte // request-body scratch, grown once and reused
+	enc   []byte // canonical-encoding scratch, grown once and reused
+	stats SessionStats
+
+	// Limits bounds what Instance/ReadInstance will decode. The zero value
+	// is unlimited (fine in-process); the Pool sets it for network input.
+	Limits graphio.Limits
+
+	// Identity memo for InstanceFromGraph: repeat solves of the same
+	// in-memory graph (the facade Session's main workload) skip the O(m)
+	// canonical encode + hash entirely. Sound because instances already
+	// assume the caller does not mutate g or b after handing them over.
+	lastG    *graph.Graph
+	lastB    graph.Budgets
+	lastInst *Instance
+}
+
+// NewSession returns a session backed by cache (nil for a private,
+// default-sized cache).
+func NewSession(cache *Cache) *Session {
+	if cache == nil {
+		cache = NewCache(CacheConfig{})
+	}
+	return &Session{cache: cache}
+}
+
+// Stats returns the session's counters.
+func (s *Session) Stats() SessionStats { return s.stats }
+
+// ErrBodyTooLarge is returned by ReadInstance when the body exceeds the
+// caller's limit; HTTP maps it to 413.
+var ErrBodyTooLarge = errors.New("serve: request body too large")
+
+// maxRetainedScratch bounds the body/enc buffers a session keeps between
+// requests. Reuse is what makes kilobyte-scale traffic allocation-free;
+// one near-MaxBodyBytes request must not leave hundreds of megabytes
+// pinned in every pooled session afterwards.
+const maxRetainedScratch = 16 << 20
+
+func (s *Session) shrinkScratch() {
+	if cap(s.body) > maxRetainedScratch {
+		s.body = nil
+	}
+	if cap(s.enc) > maxRetainedScratch {
+		s.enc = nil
+	}
+}
+
+// ReadInstance decodes an instance from r (text or binary graphio format),
+// reading the body into the session's reused buffer so repeated requests
+// through one session do not re-allocate it. limit > 0 bounds the accepted
+// body size.
+func (s *Session) ReadInstance(r io.Reader, limit int64) (*Instance, error) {
+	defer s.shrinkScratch()
+	if limit > 0 {
+		r = io.LimitReader(r, limit+1)
+	}
+	buf := s.body[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)] // grow via append's amortized policy
+		}
+		k, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+k]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			s.body = buf
+			return nil, err
+		}
+	}
+	s.body = buf
+	if limit > 0 && int64(len(buf)) > limit {
+		return nil, ErrBodyTooLarge
+	}
+	return s.Instance(buf)
+}
+
+// Instance decodes payload (text or binary graphio format) into a cached
+// instance. Re-posts of a previously seen payload hit the alias table and
+// skip parsing entirely; new payloads that decode to a known graph share
+// the resident instance.
+func (s *Session) Instance(payload []byte) (*Instance, error) {
+	pk := payloadKey(payload)
+	if inst, ok := s.cache.lookupPayload(pk); ok {
+		return inst, nil
+	}
+	g, b, err := graphio.DecodeAnyLimits(payload, s.Limits)
+	if err != nil {
+		return nil, err
+	}
+	s.stats.Decodes++
+	s.enc = graphio.AppendBinaryTo(s.enc[:0], g, b)
+	return s.internInstance(pk, sha256.Sum256(s.enc), g, b), nil
+}
+
+// InstanceFromGraph interns an in-memory graph, so facade sessions get the
+// same instance/result reuse as wire-format clients. The canonical
+// encoding is built and hashed exactly once.
+func (s *Session) InstanceFromGraph(g *graph.Graph, b graph.Budgets) (*Instance, error) {
+	if g == s.lastG && sameBudgets(b, s.lastB) {
+		return s.lastInst, nil
+	}
+	defer s.shrinkScratch()
+	if err := b.Validate(g); err != nil {
+		return nil, err
+	}
+	s.enc = graphio.AppendBinaryTo(s.enc[:0], g, b)
+	sum := sha256.Sum256(s.enc)
+	inst, ok := s.cache.lookupPayload(string(sum[:]))
+	if !ok {
+		s.stats.Decodes++
+		inst = s.internInstance(string(sum[:]), sum, g, b)
+	}
+	s.lastG, s.lastB, s.lastInst = g, b, inst
+	return inst, nil
+}
+
+// sameBudgets reports slice identity (same backing array and length), not
+// equality — the memo must only hit when the caller passed the very same
+// vector again.
+func sameBudgets(a, b graph.Budgets) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || &a[0] == &b[0]
+}
+
+// internInstance stores a decoded graph under its canonical digest and
+// links both the raw-payload alias and the canonical-bytes alias to it, so
+// a later post of either byte form is a pure alias hit.
+func (s *Session) internInstance(payloadKey string, canonical [32]byte, g *graph.Graph, b graph.Budgets) *Instance {
+	inst := &Instance{Key: hex.EncodeToString(canonical[:]), G: g, B: b}
+	inst = s.cache.storeInstance(payloadKey, inst)
+	if ck := string(canonical[:]); ck != payloadKey {
+		s.cache.addAlias(ck, inst.Key)
+	}
+	return inst
+}
+
+// payloadKey is the alias-table key for raw payload bytes: the bare digest,
+// skipping hex so the hot lookup path allocates one small string at most.
+func payloadKey(data []byte) string {
+	sum := sha256.Sum256(data)
+	return string(sum[:])
+}
+
+// Solve runs spec against inst, consulting the result cache first.
+func (s *Session) Solve(inst *Instance, spec Spec) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if !spec.NoCache {
+		if res, ok := s.cache.lookupResult(spec.resultKey(inst.Key)); ok {
+			s.stats.ResultHits++
+			hit := *res
+			hit.FromCache = true
+			// Report this request's latency, not the original solve's.
+			hit.Elapsed = time.Since(start)
+			return &hit, nil
+		}
+	}
+	res, err := s.solve(inst, spec)
+	if err != nil {
+		return nil, err
+	}
+	s.stats.Solves++
+	res.Algo = spec.Algo
+	res.Instance = inst.Key
+	res.N, res.M = inst.G.N, inst.G.M()
+	res.Elapsed = time.Since(start)
+	if !spec.NoCache {
+		s.cache.storeResult(spec.resultKey(inst.Key), res)
+	}
+	return res, nil
+}
+
+func (s *Session) solve(inst *Instance, spec Spec) (*Result, error) {
+	g, b := inst.G, inst.B
+	params := frac.PracticalParams()
+	if spec.PaperConstants {
+		params = frac.PaperParams()
+	}
+	params.Workers = spec.Workers
+
+	var m *matching.BMatching
+	res := &Result{}
+	switch spec.Algo {
+	case AlgoApprox:
+		out, err := core.ConstApprox(g, b, params, rng.New(spec.Seed))
+		if err != nil {
+			return nil, err
+		}
+		m = out.M
+		res.DualBound = out.DualBound
+		res.FracValue = out.FracValue
+		res.CompressionSteps = out.Frac.Iterations
+		res.MPCRounds = out.Frac.TotalSimRounds
+		res.MaxMachineEdges = out.Frac.MaxMachineEdges
+	case AlgoMax:
+		ap := augmentDefaults(spec.eps(), spec.Workers)
+		out, err := core.OnePlusEpsUnweighted(g, b, spec.eps(), params, ap, rng.New(spec.Seed))
+		if err != nil {
+			return nil, err
+		}
+		m = out.M
+	case AlgoMaxWeight:
+		wp := weightedDefaults(spec.eps(), spec.Workers)
+		out, err := core.OnePlusEpsWeighted(g, b, spec.eps(), wp, rng.New(spec.Seed))
+		if err != nil {
+			return nil, err
+		}
+		m = out.M
+	case AlgoGreedy:
+		m = baseline.GreedyWeighted(g, b)
+	default:
+		return nil, fmt.Errorf("serve: unknown algo %q", spec.Algo)
+	}
+	// A solver emitting an infeasible matching is an internal bug; failing
+	// the request keeps it out of the shared result cache and lets HTTP
+	// report 500 instead of serving (and replaying) a bad plan with 200.
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: internal: %s solver produced an infeasible matching: %w", spec.Algo, err)
+	}
+	res.Size = m.Size()
+	res.Weight = m.Weight()
+	res.Edges = m.Edges()
+	res.Feasible = true
+	return res, nil
+}
+
+func augmentDefaults(eps float64, workers int) augment.Params {
+	p := augment.DefaultParams(eps)
+	p.Workers = workers
+	return p
+}
+
+func weightedDefaults(eps float64, workers int) weighted.Params {
+	p := weighted.DefaultParams(eps)
+	p.Workers = workers
+	return p
+}

@@ -10,10 +10,15 @@
 //
 // All algorithms are written against the Stream interface and account every
 // retained word in a Meter, so the experiment tables report measured peak
-// memory against the Õ(Σb_v) bound.
+// memory against the Õ(Σb_v) bound. The Meter enforces the same invariant
+// as mpc.Machine: releasing more than is retained (or charging a negative
+// amount) panics instead of clamping, so peak-memory tables cannot be
+// built on under-reported balances.
 package stream
 
 import (
+	"fmt"
+
 	"repro/internal/graph"
 )
 
@@ -90,19 +95,31 @@ type Meter struct {
 	cur, peak int64
 }
 
-// Charge records w retained words.
+// Charge records w retained words. Charging a negative amount panics: it is
+// a disguised release that would bypass the Release invariant below.
 func (m *Meter) Charge(w int64) {
+	if w < 0 {
+		panic(fmt.Sprintf("stream: charged negative %d words", w))
+	}
 	m.cur += w
 	if m.cur > m.peak {
 		m.peak = m.cur
 	}
 }
 
-// Release records w words freed.
+// Release records w words freed. Releasing more than is retained panics,
+// the same contract as mpc.Machine.Release: a negative balance means the
+// algorithm's memory accounting is wrong, and silently clamping to zero
+// would let the bug under-report the streaming peak-memory tables. A
+// negative w panics too — it is a disguised charge that would raise cur
+// without updating the peak.
 func (m *Meter) Release(w int64) {
+	if w < 0 {
+		panic(fmt.Sprintf("stream: released negative %d words", w))
+	}
 	m.cur -= w
 	if m.cur < 0 {
-		m.cur = 0
+		panic(fmt.Sprintf("stream: released %d words with only %d retained", w, m.cur+w))
 	}
 }
 

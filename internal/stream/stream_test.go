@@ -74,10 +74,36 @@ func TestMeter(t *testing.T) {
 	if m.Peak() != 15 || m.Current() != 3 {
 		t.Fatalf("peak=%d cur=%d", m.Peak(), m.Current())
 	}
-	m.Release(100)
-	if m.Current() != 0 {
-		t.Fatal("negative current")
+	m.Release(3)
+	if m.Current() != 0 || m.Peak() != 15 {
+		t.Fatalf("after full release: peak=%d cur=%d", m.Peak(), m.Current())
 	}
+}
+
+// TestMeterReleasePanicsOnOverRelease pins the accounting invariant: an
+// over-release must fail loudly instead of clamping, so streaming
+// peak-memory tables cannot be built on corrupted balances.
+func TestMeterReleasePanicsOnOverRelease(t *testing.T) {
+	var m Meter
+	m.Charge(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative retained balance")
+		}
+	}()
+	m.Release(6)
+}
+
+// TestMeterChargePanicsOnNegative: a negative charge is a disguised release
+// and must hit the same invariant.
+func TestMeterChargePanicsOnNegative(t *testing.T) {
+	var m Meter
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative charge")
+		}
+	}()
+	m.Charge(-1)
 }
 
 func TestGreedyOnePassValidMaximal(t *testing.T) {
@@ -291,4 +317,17 @@ func TestStreamWeightedFixesGreedyTrap(t *testing.T) {
 	if res.Weight != 6 {
 		t.Fatalf("stream weighted got %v, want 6", res.Weight)
 	}
+}
+
+// TestMeterReleasePanicsOnNegativeAmount: Release(-w) is a disguised charge
+// that would raise the balance without moving the peak.
+func TestMeterReleasePanicsOnNegativeAmount(t *testing.T) {
+	var m Meter
+	m.Charge(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative release amount")
+		}
+	}()
+	m.Release(-5)
 }
