@@ -25,15 +25,16 @@
 package bmatch
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/augment"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/frac"
 	"repro/internal/graph"
 	"repro/internal/matching"
 	"repro/internal/rng"
-	"repro/internal/serve"
 	"repro/internal/stream"
 	"repro/internal/weighted"
 )
@@ -75,10 +76,10 @@ type Options struct {
 
 // Validate checks the options. Eps must be zero (keep the default of 0.25)
 // or lie in (0, 1); negative, NaN, Inf, and ≥ 1 values are rejected so they
-// cannot reach the drivers. The contract lives in serve.ValidateEps, shared
-// with the bmatchd request boundary.
+// cannot reach the drivers. The contract lives in engine.ValidateEps,
+// below the transport, shared with the bmatchd request boundary.
 func (o Options) Validate() error {
-	if err := serve.ValidateEps(o.Eps); err != nil {
+	if err := engine.ValidateEps(o.Eps); err != nil {
 		return fmt.Errorf("bmatch: %w", err)
 	}
 	return nil
@@ -91,7 +92,7 @@ func (o Options) mpcParams() frac.MPCParams {
 	return frac.PracticalParams()
 }
 
-func (o Options) eps() float64 { return serve.EpsOrDefault(o.Eps) }
+func (o Options) eps() float64 { return engine.EpsOrDefault(o.Eps) }
 
 // ApproxStats carries the MPC measurements of an Approx run.
 type ApproxStats struct {
@@ -112,10 +113,19 @@ type ApproxStats struct {
 // Approx computes a Θ(1)-approximate maximum-cardinality b-matching using
 // the paper's O(log log d̄)-round MPC algorithm (Theorem 3.1).
 func Approx(g *Graph, b Budgets, opts Options) (*BMatching, *ApproxStats, error) {
+	return ApproxCtx(context.Background(), g, b, opts)
+}
+
+// ApproxCtx is Approx with cooperative cancellation: ctx cancellation and
+// deadlines are honored at every MPC compression step, simulator superstep,
+// and rounding wave, aborting the solve with ctx's error. A completed call
+// is bit-identical to Approx with the same options; a cancelled call
+// returns nothing partial, so re-running it is always safe.
+func ApproxCtx(ctx context.Context, g *Graph, b Budgets, opts Options) (*BMatching, *ApproxStats, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, nil, err
 	}
-	res, err := core.ConstApprox(g, b, opts.mpcParams(), rng.New(opts.Seed))
+	res, err := core.ConstApproxCtx(ctx, g, b, opts.mpcParams(), rng.New(opts.Seed))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -131,10 +141,16 @@ func Approx(g *Graph, b Budgets, opts Options) (*BMatching, *ApproxStats, error)
 // Max computes a (1+ε)-approximate maximum-cardinality b-matching
 // (Theorem 4.1).
 func Max(g *Graph, b Budgets, opts Options) (*BMatching, error) {
+	return MaxCtx(context.Background(), g, b, opts)
+}
+
+// MaxCtx is Max with cooperative cancellation (see ApproxCtx; augmentation
+// sweeps are additional cancellation points).
+func MaxCtx(ctx context.Context, g *Graph, b Budgets, opts Options) (*BMatching, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	res, err := core.OnePlusEpsUnweighted(g, b, opts.eps(), opts.mpcParams(),
+	res, err := core.OnePlusEpsUnweightedCtx(ctx, g, b, opts.eps(), opts.mpcParams(),
 		augment.DefaultParams(opts.eps()), rng.New(opts.Seed))
 	if err != nil {
 		return nil, err
@@ -145,10 +161,16 @@ func Max(g *Graph, b Budgets, opts Options) (*BMatching, error) {
 // MaxWeight computes a (1+ε)-approximate maximum-weight b-matching
 // (Theorem 5.1).
 func MaxWeight(g *Graph, b Budgets, opts Options) (*BMatching, error) {
+	return MaxWeightCtx(context.Background(), g, b, opts)
+}
+
+// MaxWeightCtx is MaxWeight with cooperative cancellation, checked at every
+// driver round (see ApproxCtx for the contract).
+func MaxWeightCtx(ctx context.Context, g *Graph, b Budgets, opts Options) (*BMatching, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	res, err := core.OnePlusEpsWeighted(g, b, opts.eps(),
+	res, err := core.OnePlusEpsWeightedCtx(ctx, g, b, opts.eps(),
 		weighted.DefaultParams(opts.eps()), rng.New(opts.Seed))
 	if err != nil {
 		return nil, err
@@ -182,6 +204,12 @@ type FractionalResult struct {
 // exposed for callers that want the LP value or the vertex-cover dual
 // rather than an integral matching.
 func ApproxFractional(g *Graph, b Budgets, opts Options) (*FractionalResult, error) {
+	return ApproxFractionalCtx(context.Background(), g, b, opts)
+}
+
+// ApproxFractionalCtx is ApproxFractional with cooperative cancellation
+// threaded through the FullMPC compression loop and the simulator.
+func ApproxFractionalCtx(ctx context.Context, g *Graph, b Budgets, opts Options) (*FractionalResult, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -189,7 +217,10 @@ func ApproxFractional(g *Graph, b Budgets, opts Options) (*FractionalResult, err
 		return nil, err
 	}
 	p := frac.BMatchingProblem(g, b)
-	full := p.FullMPC(opts.mpcParams(), rng.New(opts.Seed))
+	full, err := p.FullMPCCtx(ctx, opts.mpcParams(), rng.New(opts.Seed))
+	if err != nil {
+		return nil, err
+	}
 	covV, covE := p.VertexCover(full.X, 0.05)
 	return &FractionalResult{
 		X:                full.X,
@@ -213,15 +244,15 @@ func ApproxFractional(g *Graph, b Budgets, opts Options) (*FractionalResult, err
 // A Session is not safe for concurrent use; create one per goroutine (they
 // may share nothing, or use the daemon for shared caching across clients).
 type Session struct {
-	s *serve.Session
+	s *engine.Session
 }
 
 // NewSession returns a session with a private instance/result cache.
 func NewSession() *Session {
-	return &Session{s: serve.NewSession(nil)}
+	return &Session{s: engine.NewSession(nil)}
 }
 
-func (s *Session) run(g *Graph, b Budgets, opts Options, algo serve.Algo) (*serve.Result, error) {
+func (s *Session) run(ctx context.Context, g *Graph, b Budgets, opts Options, algo engine.Algo) (*engine.Result, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -229,7 +260,7 @@ func (s *Session) run(g *Graph, b Budgets, opts Options, algo serve.Algo) (*serv
 	if err != nil {
 		return nil, err
 	}
-	return s.s.Solve(inst, serve.Spec{
+	return s.s.Solve(ctx, inst, engine.Spec{
 		Algo:           algo,
 		Eps:            opts.Eps,
 		Seed:           opts.Seed,
@@ -254,7 +285,15 @@ func rebuildMatching(g *Graph, b Budgets, edges []int32) (*BMatching, error) {
 // with the same graph reuse the cached instance and repeat calls with the
 // same options reuse the cached result.
 func (s *Session) Approx(g *Graph, b Budgets, opts Options) (*BMatching, *ApproxStats, error) {
-	res, err := s.run(g, b, opts, serve.AlgoApprox)
+	return s.ApproxCtx(context.Background(), g, b, opts)
+}
+
+// ApproxCtx is the session-aware ApproxCtx: cancellable like the
+// package-level variant, cached like Session.Approx. A cancelled solve
+// stores nothing, so the session's result cache only ever holds complete
+// solves.
+func (s *Session) ApproxCtx(ctx context.Context, g *Graph, b Budgets, opts Options) (*BMatching, *ApproxStats, error) {
+	res, err := s.run(ctx, g, b, opts, engine.AlgoApprox)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -273,7 +312,12 @@ func (s *Session) Approx(g *Graph, b Budgets, opts Options) (*BMatching, *Approx
 
 // Max is the session-aware Max (Theorem 4.1).
 func (s *Session) Max(g *Graph, b Budgets, opts Options) (*BMatching, error) {
-	res, err := s.run(g, b, opts, serve.AlgoMax)
+	return s.MaxCtx(context.Background(), g, b, opts)
+}
+
+// MaxCtx is the session-aware, cancellable Max.
+func (s *Session) MaxCtx(ctx context.Context, g *Graph, b Budgets, opts Options) (*BMatching, error) {
+	res, err := s.run(ctx, g, b, opts, engine.AlgoMax)
 	if err != nil {
 		return nil, err
 	}
@@ -282,7 +326,12 @@ func (s *Session) Max(g *Graph, b Budgets, opts Options) (*BMatching, error) {
 
 // MaxWeight is the session-aware MaxWeight (Theorem 5.1).
 func (s *Session) MaxWeight(g *Graph, b Budgets, opts Options) (*BMatching, error) {
-	res, err := s.run(g, b, opts, serve.AlgoMaxWeight)
+	return s.MaxWeightCtx(context.Background(), g, b, opts)
+}
+
+// MaxWeightCtx is the session-aware, cancellable MaxWeight.
+func (s *Session) MaxWeightCtx(ctx context.Context, g *Graph, b Budgets, opts Options) (*BMatching, error) {
+	res, err := s.run(ctx, g, b, opts, engine.AlgoMaxWeight)
 	if err != nil {
 		return nil, err
 	}

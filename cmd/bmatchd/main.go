@@ -1,11 +1,13 @@
 // Command bmatchd is the b-matching daemon: an HTTP/JSON service that
 // solves b-matching instances with long-lived solver sessions, a
-// content-hash instance cache, and bounded request batching across a
-// worker pool.
+// content-hash instance cache, a sharded result cache, and bounded
+// request batching across a worker pool. The solver state lives in
+// internal/engine (transport-free); this binary wires it to the
+// internal/httpapi HTTP surface.
 //
 // Endpoints:
 //
-//	POST /v1/solve?algo=approx|max|maxw|greedy&eps=&seed=&paper=&nocache=
+//	POST /v1/solve?algo=approx|max|maxw|greedy&eps=&seed=&paper=&nocache=&timeout_ms=
 //	     body: instance in graphio text or binary format (auto-detected)
 //	GET  /v1/healthz
 //	GET  /v1/stats
@@ -15,6 +17,11 @@
 //	bmatchd -addr :8377 &
 //	printf 'n 4\ne 0 1 2\ne 1 2 3\ne 2 3 1\n' |
 //	    curl -sS --data-binary @- 'localhost:8377/v1/solve?algo=maxw&seed=1'
+//
+// On SIGINT or SIGTERM the daemon shuts down gracefully: it stops
+// accepting connections, cancels the contexts of all in-flight solves (the
+// engine aborts them at the next solver round boundary), drains within
+// -drain-timeout, and exits 0.
 package main
 
 import (
@@ -23,13 +30,16 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
-	"repro/internal/serve"
+	"repro/internal/engine"
+	"repro/internal/httpapi"
 )
 
 var (
@@ -40,35 +50,57 @@ var (
 	solverWFlag   = flag.Int("solver-workers", 0, "per-solve internal parallelism (0 = default of 1)")
 	instancesFlag = flag.Int("cache-instances", 0, "instance cache entries (0 = default of 32)")
 	resultsFlag   = flag.Int("cache-results", 0, "result cache entries (0 = default of 256)")
+	shardsFlag    = flag.Int("cache-shards", 0, "independent result-cache shards (0 = default of 16)")
 	maxBodyFlag   = flag.Int64("max-body", 0, "max request body bytes (0 = default of 256 MiB)")
 	decodeFlag    = flag.Int("decode-slots", 0, "max concurrent request decodes (0 = 2x workers)")
 	maxNFlag      = flag.Int("max-vertices", 0, "max vertices per instance (0 = default of 2^24, negative = unlimited)")
 	maxMFlag      = flag.Int("max-edges", 0, "max edges per instance (0 = default of 2^25, negative = unlimited)")
 	readTOFlag    = flag.Duration("read-timeout", 2*time.Minute, "max time to read a request body (bounds how long a slow client can hold a decode slot)")
 	writeTOFlag   = flag.Duration("write-timeout", 5*time.Minute, "max time to serve one request, including the solve")
+	drainTOFlag   = flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight requests on shutdown")
 )
 
 func main() {
 	flag.Parse()
-	srv := serve.NewServer(serve.ServerConfig{
-		Pool: serve.PoolConfig{
-			Workers:       *workersFlag,
-			QueueDepth:    *queueFlag,
-			BatchMax:      *batchFlag,
-			SolverWorkers: *solverWFlag,
-			DecodeSlots:   *decodeFlag,
-			MaxVertices:   *maxNFlag,
-			MaxEdges:      *maxMFlag,
-			Cache: serve.CacheConfig{
-				MaxInstances: *instancesFlag,
-				MaxResults:   *resultsFlag,
-			},
+	pool := engine.NewPool(engine.PoolConfig{
+		Workers:       *workersFlag,
+		QueueDepth:    *queueFlag,
+		BatchMax:      *batchFlag,
+		SolverWorkers: *solverWFlag,
+		DecodeSlots:   *decodeFlag,
+		MaxVertices:   *maxNFlag,
+		MaxEdges:      *maxMFlag,
+		Cache: engine.CacheConfig{
+			MaxInstances: *instancesFlag,
+			MaxResults:   *resultsFlag,
+			Shards:       *shardsFlag,
 		},
-		MaxBodyBytes: *maxBodyFlag,
 	})
+	// Clamp client deadlines below the connection write timeout, so an
+	// exceeded timeout_ms always surfaces as a 504 reply rather than the
+	// connection being torn down first. -write-timeout 0 disables the
+	// connection cap, so there is nothing to clamp against — leave client
+	// deadlines effectively unclamped rather than falling back to the
+	// library default.
+	maxTimeout := *writeTOFlag * 9 / 10
+	if *writeTOFlag <= 0 {
+		maxTimeout = time.Duration(math.MaxInt64)
+	}
+	api := httpapi.NewServer(pool, httpapi.Config{
+		MaxBodyBytes: *maxBodyFlag,
+		MaxTimeout:   maxTimeout,
+	})
+
+	// Every request context descends from solveCtx, so cancelling it on
+	// shutdown aborts all in-flight solves at their next round boundary —
+	// the drain below then only waits for handlers to write error replies,
+	// not for solves to run to completion.
+	solveCtx, cancelSolves := context.WithCancel(context.Background())
+	defer cancelSolves()
 	hs := &http.Server{
 		Addr:              *addrFlag,
-		Handler:           srv.Handler(),
+		Handler:           api.Handler(),
+		BaseContext:       func(net.Listener) context.Context { return solveCtx },
 		ReadHeaderTimeout: 10 * time.Second,
 		// Without a body read deadline, slow-trickling clients would hold
 		// decode slots indefinitely and starve admission.
@@ -90,12 +122,20 @@ func main() {
 			os.Exit(1)
 		}
 	case <-ctx.Done():
-		log.Printf("bmatchd shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		stop() // restore default handling so a second signal force-kills
+		log.Printf("bmatchd shutting down (drain timeout %v)", *drainTOFlag)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTOFlag)
 		defer cancel()
+		// Cancel the in-flight solve contexts first (marking the drain so
+		// those requests answer 503-retryable, not 408), then stop
+		// accepting and drain: the wait is bounded by reply writing, not
+		// solve time.
+		api.SetDraining()
+		cancelSolves()
 		if err := hs.Shutdown(shutdownCtx); err != nil {
 			fmt.Fprintln(os.Stderr, "bmatchd: shutdown:", err)
 		}
-		srv.Close()
+		api.Close()
+		log.Printf("bmatchd drained, exiting")
 	}
 }

@@ -4,15 +4,22 @@
 // number of requests, and often a varying number"). A maximum weight
 // b-matching is then a revenue-maximizing admission plan.
 //
-// This example is a live client of the bmatchd serving layer: it starts the
-// daemon in-process, ships the instance over HTTP in the binary graphio
-// wire format, and compares the daemon's greedy dispatcher against the
-// paper's (1+ε) algorithm — including a re-post that hits the instance and
-// result caches.
+// This example exercises both seams of the serving stack:
+//
+//   - the HTTP path: it starts the bmatchd surface in-process
+//     (internal/httpapi wrapping an internal/engine pool), ships the
+//     instance over a real socket in the binary graphio wire format, and
+//     compares the daemon's greedy dispatcher against the paper's (1+ε)
+//     algorithm — including a re-post that hits the instance and result
+//     caches;
+//   - the transport-free path: the same solve through an engine.Session
+//     directly, no HTTP anywhere, producing a bit-identical plan — this is
+//     the embedding API for library consumers that must not link a server.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -20,11 +27,12 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/graphio"
+	"repro/internal/httpapi"
 	"repro/internal/matching"
 	"repro/internal/rng"
-	"repro/internal/serve"
 )
 
 type solveResponse struct {
@@ -68,14 +76,16 @@ func main() {
 		sum(b[clients:]), sum(b[:clients]))
 
 	// Start the daemon in-process and talk to it over a real socket, as an
-	// external client would.
-	srv := serve.NewServer(serve.ServerConfig{Pool: serve.PoolConfig{Workers: 2}})
-	defer srv.Close()
+	// external client would: an engine pool (sessions, caches, admission)
+	// wrapped by the httpapi transport.
+	pool := engine.NewPool(engine.PoolConfig{Workers: 2})
+	api := httpapi.NewServer(pool, httpapi.Config{})
+	defer api.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	go http.Serve(ln, srv.Handler())
+	go http.Serve(ln, api.Handler())
 	base := "http://" + ln.Addr().String()
 	fmt.Printf("\nbmatchd serving on %s\n", base)
 
@@ -94,6 +104,31 @@ func main() {
 	again := solve(base, payload, "algo=maxw&seed=1&eps=0.25")
 	fmt.Printf("same request again:  %5d requests admitted, cached=%t in %v\n",
 		again.Size, again.Cached, time.Since(start).Round(time.Microsecond))
+
+	// The transport-free path: the same solve through an engine session
+	// directly — no HTTP server, no sockets, no net/http in the consumer's
+	// dependency graph. Embedders get the identical deterministic plan.
+	sess := engine.NewSession(nil)
+	inst, err := sess.InstanceFromGraph(g, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start = time.Now()
+	direct, err := sess.Solve(context.Background(),
+		inst, engine.Spec{Algo: engine.AlgoMaxWeight, Seed: 1, Eps: 0.25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(direct.Edges) != len(m.Edges) {
+		log.Fatalf("engine-only plan differs from HTTP plan: %d vs %d edges", len(direct.Edges), len(m.Edges))
+	}
+	for i := range direct.Edges {
+		if direct.Edges[i] != m.Edges[i] {
+			log.Fatalf("engine-only plan differs from HTTP plan at edge %d", i)
+		}
+	}
+	fmt.Printf("in-process engine:   %5d requests admitted, bit-identical to the HTTP plan, in %v (no transport)\n",
+		direct.Size, time.Since(start).Round(time.Millisecond))
 
 	// Server utilization under the optimized plan, validated client-side.
 	plan := matching.MustNew(g, b)

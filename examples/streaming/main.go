@@ -23,7 +23,9 @@ func main() {
 	fmt.Printf("stream: m = %d edges; memory budget Õ(Σb) with Σb = %d\n", g.M(), b.Sum())
 
 	onePass, err := bmatch.StreamMax(bmatch.NewSliceStream(g), g.N, b,
-		bmatch.Options{Seed: 1, Eps: 2}) // ε=2 → K=1: effectively greedy+1 round
+		// ε near the top of the accepted (0,1) range: the shortest walk
+		// length the contract allows, effectively greedy plus few rounds.
+		bmatch.Options{Seed: 1, Eps: 0.99})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,7 +36,7 @@ func main() {
 	}
 
 	fmt.Printf("\n%-22s %8s %8s %12s\n", "variant", "|M|", "passes", "peak words")
-	fmt.Printf("%-22s %8d %8d %12d\n", "near-greedy (ε=2)", onePass.Size, onePass.Passes, onePass.PeakWords)
+	fmt.Printf("%-22s %8d %8d %12d\n", "near-greedy (ε=.99)", onePass.Size, onePass.Passes, onePass.PeakWords)
 	fmt.Printf("%-22s %8d %8d %12d\n", "multi-pass (ε=0.5)", multi.Size, multi.Passes, multi.PeakWords)
 	fmt.Printf("\npeak memory vs m: %.1f%% — the stream was never stored\n",
 		100*float64(multi.PeakWords)/float64(3*g.M()))

@@ -40,7 +40,9 @@ func main() {
 	fmt.Printf("\n%-18s %10s %8s\n", "algorithm", "revenue", "ratio")
 	fmt.Printf("%-18s %10.0f %8.4f\n", "greedy (2-approx)", gm.Weight(), gm.Weight()/opt)
 
-	for _, eps := range []float64{1.0, 0.5, 0.25} {
+	// ε must lie in (0,1) (Options.Validate); 0.99 is the coarsest accepted
+	// slack and behaves like the K=2 near-greedy end of the spectrum.
+	for _, eps := range []float64{0.99, 0.5, 0.25} {
 		m, err := bmatch.MaxWeight(g, b, bmatch.Options{Seed: 1, Eps: eps})
 		if err != nil {
 			log.Fatal(err)

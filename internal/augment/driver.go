@@ -7,6 +7,7 @@
 package augment
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/graph"
@@ -99,6 +100,15 @@ type Result struct {
 // is nil a greedy maximal matching is used as the starting point; otherwise
 // initial is modified in place and must be a matching over g and b.
 func OnePlusEps(g *graph.Graph, b graph.Budgets, initial *matching.BMatching, params Params, r *rng.RNG) (*Result, error) {
+	return OnePlusEpsCtx(context.Background(), g, b, initial, params, r)
+}
+
+// OnePlusEpsCtx is OnePlusEps with cooperative cancellation: ctx is checked
+// at every sweep and every per-k wave of layered-instance tries, and a
+// cancelled run returns ctx's error. The matching passed as initial may
+// have absorbed some augmentations by then (it is improved in place); a
+// fresh uncancelled run with the same seed is bit-identical to OnePlusEps.
+func OnePlusEpsCtx(ctx context.Context, g *graph.Graph, b graph.Budgets, initial *matching.BMatching, params Params, r *rng.RNG) (*Result, error) {
 	params = params.withDefaults()
 	m := initial
 	if m == nil {
@@ -116,7 +126,7 @@ func OnePlusEps(g *graph.Graph, b graph.Budgets, initial *matching.BMatching, pa
 		res.Sweeps++
 		appliedThisSweep := 0
 		for k := 1; k <= K; k++ {
-			applied, err := runTries(m, k, retries, params.Workers, r)
+			applied, err := runTries(ctx, m, k, retries, params.Workers, r)
 			if err != nil {
 				return nil, err
 			}
@@ -157,7 +167,7 @@ func OnePlusEps(g *graph.Graph, b graph.Budgets, initial *matching.BMatching, pa
 // replayed serially from the same reserved RNG seeds — making the output
 // identical to the serial driver for every worker count. Walks dry up in
 // the steady state, so the common case is a fully clean wave.
-func runTries(m *matching.BMatching, k, retries, workers int, r *rng.RNG) (int, error) {
+func runTries(ctx context.Context, m *matching.BMatching, k, retries, workers int, r *rng.RNG) (int, error) {
 	type try struct {
 		seedB, seedG int64
 		walks        []matching.Walk
@@ -165,14 +175,23 @@ func runTries(m *matching.BMatching, k, retries, workers int, r *rng.RNG) (int, 
 	wave := min(mpc.PoolSize(workers)*4, retries)
 	applied := 0
 	for base := 0; base < retries; base += wave {
+		if err := ctx.Err(); err != nil {
+			return applied, err
+		}
 		tries := make([]try, min(wave, retries-base))
 		for i := range tries {
 			tries[i].seedB, tries[i].seedG = r.Reserve(), r.Reserve()
 		}
 		mpc.ParallelFor(workers, len(tries), func(i int) {
+			if ctx.Err() != nil {
+				return // caller aborts before applying anything from this wave
+			}
 			L := BuildLayered(m, k, rng.New(tries[i].seedB))
 			tries[i].walks = L.Grow(rng.New(tries[i].seedG))
 		})
+		if err := ctx.Err(); err != nil {
+			return applied, err
+		}
 		clean := true
 		for i := range tries {
 			ws := tries[i].walks

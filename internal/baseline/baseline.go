@@ -16,6 +16,8 @@
 package baseline
 
 import (
+	"context"
+
 	"repro/internal/frac"
 	"repro/internal/graph"
 	"repro/internal/matching"
@@ -38,13 +40,40 @@ func Greedy(g *graph.Graph, b graph.Budgets) *matching.BMatching {
 // descending weight order; a classic 2-approximation for maximum weight
 // b-matching.
 func GreedyWeighted(g *graph.Graph, b graph.Budgets) *matching.BMatching {
+	m, err := GreedyWeightedCtx(context.Background(), g, b)
+	if err != nil {
+		panic(err) // unreachable: the background context never cancels
+	}
+	return m
+}
+
+// greedyCancelStride is how many edges GreedyWeightedCtx scans between
+// cancellation checks: frequent enough that the scan phase aborts within
+// milliseconds, rare enough to stay off the hot path.
+const greedyCancelStride = 1 << 16
+
+// GreedyWeightedCtx is GreedyWeighted with cooperative cancellation,
+// checked before the weight sort and every greedyCancelStride edges of the
+// scan (the checks never affect the output, only whether it is produced).
+// The O(m log m) sort itself is not interruptible, so that — not one scan
+// stride — bounds the worst-case abort latency. A cancelled call returns
+// ctx's error with no partial matching.
+func GreedyWeightedCtx(ctx context.Context, g *graph.Graph, b graph.Budgets) (*matching.BMatching, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	m := matching.MustNew(g, b)
-	for _, e := range graph.SortEdgesByWeightDesc(g) {
+	for i, e := range graph.SortEdgesByWeightDesc(g) {
+		if i%greedyCancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if m.CanAdd(e) {
 			mustAdd(m, e)
 		}
 	}
-	return m
+	return m, nil
 }
 
 // GreedyRandomOrder returns a maximal b-matching over a uniformly random

@@ -12,6 +12,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/augment"
 	"repro/internal/frac"
 	"repro/internal/graph"
@@ -38,14 +40,28 @@ type ConstApproxResult struct {
 
 // ConstApprox runs the Theorem 3.1 pipeline.
 func ConstApprox(g *graph.Graph, b graph.Budgets, params frac.MPCParams, r *rng.RNG) (*ConstApproxResult, error) {
+	return ConstApproxCtx(context.Background(), g, b, params, r)
+}
+
+// ConstApproxCtx is ConstApprox with cooperative cancellation, threaded
+// into the FullMPC compression loop, the simulator's superstep boundaries,
+// and the rounding repeats. A cancelled solve returns ctx's error and no
+// partial result; an uncancelled run is bit-identical to ConstApprox.
+func ConstApproxCtx(ctx context.Context, g *graph.Graph, b graph.Budgets, params frac.MPCParams, r *rng.RNG) (*ConstApproxResult, error) {
 	if err := b.Validate(g); err != nil {
 		return nil, err
 	}
 	p := frac.BMatchingProblem(g, b)
-	full := p.FullMPC(params, r.Split())
+	full, err := p.FullMPCCtx(ctx, params, r.Split())
+	if err != nil {
+		return nil, err
+	}
 	rp := round.DefaultParams()
 	rp.Workers = params.Workers
-	m := round.Round(g, b, full.X, rp, r.Split())
+	m, err := round.RoundCtx(ctx, g, b, full.X, rp, r.Split())
+	if err != nil {
+		return nil, err
+	}
 	// The sampling intentionally leaves constant-factor slack; greedy fill
 	// recovers most of it and cannot hurt.
 	round.GreedyFill(m, false)
@@ -60,7 +76,13 @@ func ConstApprox(g *graph.Graph, b graph.Budgets, params frac.MPCParams, r *rng.
 // OnePlusEpsUnweighted runs the Theorem 4.1 pipeline: the Θ(1) MPC start
 // followed by layered-graph augmentation until (1+ε)-optimality.
 func OnePlusEpsUnweighted(g *graph.Graph, b graph.Budgets, eps float64, mpcParams frac.MPCParams, augParams augment.Params, r *rng.RNG) (*augment.Result, error) {
-	start, err := ConstApprox(g, b, mpcParams, r.Split())
+	return OnePlusEpsUnweightedCtx(context.Background(), g, b, eps, mpcParams, augParams, r)
+}
+
+// OnePlusEpsUnweightedCtx is OnePlusEpsUnweighted with cooperative
+// cancellation through both stages (MPC start and augmentation sweeps).
+func OnePlusEpsUnweightedCtx(ctx context.Context, g *graph.Graph, b graph.Budgets, eps float64, mpcParams frac.MPCParams, augParams augment.Params, r *rng.RNG) (*augment.Result, error) {
+	start, err := ConstApproxCtx(ctx, g, b, mpcParams, r.Split())
 	if err != nil {
 		return nil, err
 	}
@@ -70,16 +92,22 @@ func OnePlusEpsUnweighted(g *graph.Graph, b graph.Budgets, eps float64, mpcParam
 	if augParams.Workers == 0 {
 		augParams.Workers = mpcParams.Workers
 	}
-	return augment.OnePlusEps(g, b, start.M, augParams, r.Split())
+	return augment.OnePlusEpsCtx(ctx, g, b, start.M, augParams, r.Split())
 }
 
 // OnePlusEpsWeighted runs the Theorem 5.1 pipeline.
 func OnePlusEpsWeighted(g *graph.Graph, b graph.Budgets, eps float64, params weighted.Params, r *rng.RNG) (*weighted.Result, error) {
+	return OnePlusEpsWeightedCtx(context.Background(), g, b, eps, params, r)
+}
+
+// OnePlusEpsWeightedCtx is OnePlusEpsWeighted with cooperative cancellation
+// checked at every driver round.
+func OnePlusEpsWeightedCtx(ctx context.Context, g *graph.Graph, b graph.Budgets, eps float64, params weighted.Params, r *rng.RNG) (*weighted.Result, error) {
 	if err := b.Validate(g); err != nil {
 		return nil, err
 	}
 	if params.Eps <= 0 {
 		params.Eps = eps
 	}
-	return weighted.OnePlusEpsWeighted(g, b, nil, params, r.Split())
+	return weighted.OnePlusEpsWeightedCtx(ctx, g, b, nil, params, r.Split())
 }

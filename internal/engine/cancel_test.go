@@ -1,0 +1,193 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// countCtx is a context whose Err starts reporting context.Canceled after
+// `limit` calls. Every cancellation checkpoint in the solve stack goes
+// through ctx.Err(), so this cancels a solve at an exact, reproducible
+// checkpoint — no timing involved. Done intentionally returns nil (block
+// forever): these tests drive Session.Solve directly, which never selects
+// on Done.
+type countCtx struct {
+	calls atomic.Int64
+	limit int64
+}
+
+func (c *countCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *countCtx) Done() <-chan struct{}       { return nil }
+func (c *countCtx) Value(any) any               { return nil }
+func (c *countCtx) Err() error {
+	if c.calls.Add(1) > c.limit {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestCancelMidSolveSemantics pins the full cancellation contract at the
+// session level, deterministically: first a probe run counts how many
+// cancellation checkpoints a solve passes, then the solve is cancelled at
+// chosen checkpoints and must (a) return context.Canceled, (b) leave the
+// result cache empty, and (c) leave behind no state that changes a
+// subsequent uncancelled solve, which must be bit-identical to a reference
+// solve in a fresh session.
+func TestCancelMidSolveSemantics(t *testing.T) {
+	r := rng.New(7)
+	g, b := graph.ClientServer(160, 10, 5, 3, 20, r.Split())
+
+	for _, algo := range []Algo{AlgoApprox, AlgoMaxWeight} {
+		t.Run(string(algo), func(t *testing.T) {
+			spec := Spec{Algo: algo, Seed: 5}
+
+			// Reference solve in a fresh, untouched session.
+			ref, err := solveFresh(g, b, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Probe: count the checkpoints of a full solve.
+			cache := NewCache(CacheConfig{})
+			s := NewSession(cache)
+			inst, err := s.InstanceFromGraph(g, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			probe := &countCtx{limit: math.MaxInt64}
+			if _, err := s.Solve(probe, inst, Spec{Algo: algo, Seed: 5, NoCache: true}); err != nil {
+				t.Fatal(err)
+			}
+			checkpoints := probe.calls.Load()
+			if checkpoints < 3 {
+				t.Fatalf("solve passed only %d cancellation checkpoints; the ctx is not threaded through", checkpoints)
+			}
+
+			// Cancel at the first checkpoint, mid-solve, and just before the
+			// end.
+			for _, limit := range []int64{1, checkpoints / 2, checkpoints - 1} {
+				cc := &countCtx{limit: limit}
+				res, err := s.Solve(cc, inst, spec)
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("cancel after %d/%d checkpoints: got (%v, %v), want context.Canceled",
+						limit, checkpoints, res, err)
+				}
+			}
+			if st := cache.Stats(); st.Results != 0 {
+				t.Fatalf("cancelled solves polluted the result cache: %d entries resident", st.Results)
+			}
+
+			// The re-run must compute (not hit a phantom cache entry) and be
+			// bit-identical to the reference.
+			res, err := s.Solve(context.Background(), inst, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.FromCache {
+				t.Fatal("re-run after cancellations was served from cache; a partial solve was stored")
+			}
+			assertSameResult(t, ref, res)
+
+			// And now it is cached, as a normal completed solve would be.
+			res2, err := s.Solve(context.Background(), inst, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res2.FromCache {
+				t.Fatal("completed solve was not cached")
+			}
+		})
+	}
+}
+
+func solveFresh(g *graph.Graph, b graph.Budgets, spec Spec) (*Result, error) {
+	s := NewSession(nil)
+	inst, err := s.InstanceFromGraph(g, b)
+	if err != nil {
+		return nil, err
+	}
+	return s.Solve(context.Background(), inst, spec)
+}
+
+func assertSameResult(t *testing.T, want, got *Result) {
+	t.Helper()
+	if got.Size != want.Size || got.Weight != want.Weight {
+		t.Fatalf("re-run diverged: size/weight %d/%v, want %d/%v", got.Size, got.Weight, want.Size, want.Weight)
+	}
+	if len(got.Edges) != len(want.Edges) {
+		t.Fatalf("re-run diverged: %d edges, want %d", len(got.Edges), len(want.Edges))
+	}
+	for i := range want.Edges {
+		if got.Edges[i] != want.Edges[i] {
+			t.Fatalf("re-run diverged at edge %d: %d vs %d", i, got.Edges[i], want.Edges[i])
+		}
+	}
+}
+
+// TestCancelFreesWorker pins the acceptance criterion that a cancelled
+// solve frees its worker before the solve would have finished: on a
+// single-worker pool, a solve that takes D uncancelled is cancelled after
+// a small fraction of D, and a follow-up request must then complete well
+// before D has elapsed — impossible if the worker had kept solving.
+func TestCancelFreesWorker(t *testing.T) {
+	r := rng.New(11)
+	g, b := graph.ClientServer(400, 15, 5, 3, 20, r.Split())
+	p := NewPool(PoolConfig{Workers: 1, QueueDepth: 8})
+	defer p.Close()
+	s := NewSession(p.Cache())
+	inst, err := s.InstanceFromGraph(g, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := Spec{Algo: AlgoMaxWeight, Eps: 0.25, Seed: 1, NoCache: true}
+
+	// Measure the uncancelled duration D.
+	start := time.Now()
+	if _, err := p.Submit(context.Background(), inst, slow); err != nil {
+		t.Fatal(err)
+	}
+	full := time.Since(start)
+	if full < 50*time.Millisecond {
+		t.Skipf("solve finished in %v; too fast to distinguish cancellation from completion", full)
+	}
+
+	// Cancel the same solve early, then race a quick job against D.
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := p.Submit(ctx, inst, slow)
+		errCh <- err
+	}()
+	time.Sleep(full / 10)
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled submit returned %v, want context.Canceled", err)
+	}
+	quickStart := time.Now()
+	if _, err := p.Submit(context.Background(), inst, Spec{Algo: AlgoGreedy, Seed: 2, NoCache: true}); err != nil {
+		t.Fatal(err)
+	}
+	freedAfter := time.Since(quickStart)
+	if freedAfter > full/2 {
+		t.Fatalf("worker freed only after %v; uncancelled solve takes %v — cancellation did not abort the solve", freedAfter, full)
+	}
+	// Wait for the worker's accounting of the abort (Submit returns from
+	// the caller side before the worker finishes bookkeeping).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := p.Stats(); st.SolveCanceled+st.Canceled >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cancellation never counted in pool stats: %+v", p.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

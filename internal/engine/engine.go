@@ -1,6 +1,27 @@
-package serve
+// Package engine is the transport-free serving engine over the solver
+// library: long-lived sessions that reuse decode/encode buffers across
+// solves, a content-hash instance cache plus a sharded result cache, and a
+// bounded worker pool with opportunistic request batching and cooperative
+// cancellation. The bmatch facade's Session and cmd/bmatchd are both built
+// on it.
+//
+// Layering rule: engine must stay transport-free — it must never import
+// net/http (enforced by TestTransportFree and by CI's import-hygiene
+// check). The HTTP surface lives in internal/httpapi, which maps engine
+// errors to status codes; library-only consumers link engine without
+// pulling in any transport.
+//
+// Cancellation contract: Session.Solve and Pool.Submit take a
+// context.Context that is threaded down through every solver driver
+// (core → frac.FullMPC/OneRoundMPC, round, augment, weighted) and into the
+// MPC simulator, which checks it at every superstep boundary. A cancelled
+// solve aborts within one round of work, frees its worker, returns the
+// context's error, and stores nothing in the result cache; a re-run with
+// the same seed is bit-identical to a solve that was never cancelled.
+package engine
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -39,7 +60,8 @@ const (
 	AlgoGreedy    Algo = "greedy" // weight-sorted greedy baseline (2-approximate)
 )
 
-// Spec is one solve request against an instance.
+// Spec is one solve request against an instance. Spec is comparable; the
+// pool relies on that to coalesce identical queued requests.
 type Spec struct {
 	Algo           Algo
 	Eps            float64 // 0 keeps the library default of 0.25
@@ -87,10 +109,10 @@ func (sp Spec) Validate() error {
 	switch sp.Algo {
 	case AlgoApprox, AlgoMax, AlgoMaxWeight, AlgoGreedy:
 	default:
-		return fmt.Errorf("serve: unknown algo %q (want approx|max|maxw|greedy)", sp.Algo)
+		return fmt.Errorf("engine: unknown algo %q (want approx|max|maxw|greedy)", sp.Algo)
 	}
 	if err := ValidateEps(sp.Eps); err != nil {
-		return fmt.Errorf("serve: %w", err)
+		return fmt.Errorf("engine: %w", err)
 	}
 	return nil
 }
@@ -170,7 +192,7 @@ func (s *Session) Stats() SessionStats { return s.stats }
 
 // ErrBodyTooLarge is returned by ReadInstance when the body exceeds the
 // caller's limit; HTTP maps it to 413.
-var ErrBodyTooLarge = errors.New("serve: request body too large")
+var ErrBodyTooLarge = errors.New("engine: request body too large")
 
 // maxRetainedScratch bounds the body/enc buffers a session keeps between
 // requests. Reuse is what makes kilobyte-scale traffic allocation-free;
@@ -190,14 +212,19 @@ func (s *Session) shrinkScratch() {
 // ReadInstance decodes an instance from r (text or binary graphio format),
 // reading the body into the session's reused buffer so repeated requests
 // through one session do not re-allocate it. limit > 0 bounds the accepted
-// body size.
-func (s *Session) ReadInstance(r io.Reader, limit int64) (*Instance, error) {
+// body size. ctx is checked between reads, so a client whose deadline has
+// already expired cannot keep trickling a body and hold a decode slot.
+func (s *Session) ReadInstance(ctx context.Context, r io.Reader, limit int64) (*Instance, error) {
 	defer s.shrinkScratch()
 	if limit > 0 {
 		r = io.LimitReader(r, limit+1)
 	}
 	buf := s.body[:0]
 	for {
+		if err := ctx.Err(); err != nil {
+			s.body = buf
+			return nil, err
+		}
 		if len(buf) == cap(buf) {
 			buf = append(buf, 0)[:len(buf)] // grow via append's amortized policy
 		}
@@ -223,6 +250,7 @@ func (s *Session) ReadInstance(r io.Reader, limit int64) (*Instance, error) {
 // skip parsing entirely; new payloads that decode to a known graph share
 // the resident instance.
 func (s *Session) Instance(payload []byte) (*Instance, error) {
+	defer s.shrinkScratch()
 	pk := payloadKey(payload)
 	if inst, ok := s.cache.lookupPayload(pk); ok {
 		return inst, nil
@@ -287,8 +315,11 @@ func payloadKey(data []byte) string {
 	return string(sum[:])
 }
 
-// Solve runs spec against inst, consulting the result cache first.
-func (s *Session) Solve(inst *Instance, spec Spec) (*Result, error) {
+// Solve runs spec against inst, consulting the result cache first. ctx
+// cancellation and deadlines are honored at solver round boundaries (see
+// the package comment for the contract); a cancelled solve returns ctx's
+// error and leaves the result cache untouched.
+func (s *Session) Solve(ctx context.Context, inst *Instance, spec Spec) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -303,7 +334,10 @@ func (s *Session) Solve(inst *Instance, spec Spec) (*Result, error) {
 			return &hit, nil
 		}
 	}
-	res, err := s.solve(inst, spec)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res, err := s.solve(ctx, inst, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -318,7 +352,7 @@ func (s *Session) Solve(inst *Instance, spec Spec) (*Result, error) {
 	return res, nil
 }
 
-func (s *Session) solve(inst *Instance, spec Spec) (*Result, error) {
+func (s *Session) solve(ctx context.Context, inst *Instance, spec Spec) (*Result, error) {
 	g, b := inst.G, inst.B
 	params := frac.PracticalParams()
 	if spec.PaperConstants {
@@ -330,7 +364,7 @@ func (s *Session) solve(inst *Instance, spec Spec) (*Result, error) {
 	res := &Result{}
 	switch spec.Algo {
 	case AlgoApprox:
-		out, err := core.ConstApprox(g, b, params, rng.New(spec.Seed))
+		out, err := core.ConstApproxCtx(ctx, g, b, params, rng.New(spec.Seed))
 		if err != nil {
 			return nil, err
 		}
@@ -342,28 +376,32 @@ func (s *Session) solve(inst *Instance, spec Spec) (*Result, error) {
 		res.MaxMachineEdges = out.Frac.MaxMachineEdges
 	case AlgoMax:
 		ap := augmentDefaults(spec.eps(), spec.Workers)
-		out, err := core.OnePlusEpsUnweighted(g, b, spec.eps(), params, ap, rng.New(spec.Seed))
+		out, err := core.OnePlusEpsUnweightedCtx(ctx, g, b, spec.eps(), params, ap, rng.New(spec.Seed))
 		if err != nil {
 			return nil, err
 		}
 		m = out.M
 	case AlgoMaxWeight:
 		wp := weightedDefaults(spec.eps(), spec.Workers)
-		out, err := core.OnePlusEpsWeighted(g, b, spec.eps(), wp, rng.New(spec.Seed))
+		out, err := core.OnePlusEpsWeightedCtx(ctx, g, b, spec.eps(), wp, rng.New(spec.Seed))
 		if err != nil {
 			return nil, err
 		}
 		m = out.M
 	case AlgoGreedy:
-		m = baseline.GreedyWeighted(g, b)
+		var err error
+		m, err = baseline.GreedyWeightedCtx(ctx, g, b)
+		if err != nil {
+			return nil, err
+		}
 	default:
-		return nil, fmt.Errorf("serve: unknown algo %q", spec.Algo)
+		return nil, fmt.Errorf("engine: unknown algo %q", spec.Algo)
 	}
 	// A solver emitting an infeasible matching is an internal bug; failing
 	// the request keeps it out of the shared result cache and lets HTTP
 	// report 500 instead of serving (and replaying) a bad plan with 200.
 	if err := m.Validate(); err != nil {
-		return nil, fmt.Errorf("serve: internal: %s solver produced an infeasible matching: %w", spec.Algo, err)
+		return nil, fmt.Errorf("engine: internal: %s solver produced an infeasible matching: %w", spec.Algo, err)
 	}
 	res.Size = m.Size()
 	res.Weight = m.Weight()

@@ -1,0 +1,202 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/graphio"
+	"repro/internal/rng"
+)
+
+func testInstancePayload(tb testing.TB) (*graph.Graph, graph.Budgets, []byte) {
+	tb.Helper()
+	r := rng.New(7)
+	g, b := graph.ClientServer(160, 10, 5, 3, 20, r.Split())
+	return g, b, graphio.AppendBinary(g, b)
+}
+
+// TestQueueFull pins the bounded-admission contract at the Pool level: with
+// one blocked worker and a single queue slot, an extra submit fails fast
+// with ErrQueueFull.
+func TestQueueFull(t *testing.T) {
+	p := NewPool(PoolConfig{Workers: 1, QueueDepth: 1, BatchMax: 1})
+	defer p.Close()
+	_, _, payload := testInstancePayload(t)
+	inst, err := p.Decode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate: one job running (worker pulled it), one in the queue slot.
+	// maxw on this instance is slow enough to hold the worker while the
+	// rest of the test runs.
+	type res struct {
+		err error
+	}
+	done := make(chan res, 3)
+	submit := func(seed int64) {
+		// The two saturators race each other for the single queue slot, so
+		// one may itself bounce; retry until it is admitted.
+		for {
+			_, err := p.Submit(context.Background(), inst, Spec{Algo: AlgoMaxWeight, Seed: seed, NoCache: true})
+			if err != ErrQueueFull {
+				done <- res{err}
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	go submit(1)
+	go submit(2)
+	// Wait until one job is running and the queue slot is full.
+	for i := 0; len(p.queue) < 1; i++ {
+		if i > 5000 {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var sawFull bool
+	for try := int64(0); try < 200 && !sawFull; try++ {
+		_, err := p.Submit(context.Background(), inst, Spec{Algo: AlgoGreedy, Seed: 100 + try, NoCache: true})
+		sawFull = err == ErrQueueFull
+	}
+	if !sawFull {
+		t.Error("never observed ErrQueueFull with a saturated queue")
+	}
+	for i := 0; i < 2; i++ {
+		if r := <-done; r.err != nil {
+			t.Fatalf("saturating job failed: %v", r.err)
+		}
+	}
+}
+
+// TestPoolBatching: while a slow job holds the single worker, a burst of
+// identical requests piles up and is coalesced into one batch (first
+// computes, the rest hit the result cache); a non-matching job must still
+// complete via the carry-over path.
+func TestPoolBatching(t *testing.T) {
+	p := NewPool(PoolConfig{Workers: 1, QueueDepth: 16, BatchMax: 8})
+	defer p.Close()
+	_, _, payload := testInstancePayload(t)
+	inst, err := p.Decode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	submit := func(spec Spec) {
+		defer wg.Done()
+		if _, err := p.Submit(context.Background(), inst, spec); err != nil {
+			t.Errorf("submit %+v: %v", spec, err)
+		}
+	}
+	// Occupy the worker so the rest of the burst queues up behind it.
+	wg.Add(1)
+	go submit(Spec{Algo: AlgoMaxWeight, Seed: 99, NoCache: true})
+	time.Sleep(50 * time.Millisecond)
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go submit(Spec{Algo: AlgoGreedy, Seed: 1})
+	}
+	time.Sleep(50 * time.Millisecond)
+	wg.Add(1)
+	go submit(Spec{Algo: AlgoGreedy, Seed: 2}) // distinct: must not coalesce
+	wg.Wait()
+	st := p.Stats()
+	if st.Completed != 8 {
+		t.Fatalf("completed = %d, want 8", st.Completed)
+	}
+	if st.MaxBatch < 2 {
+		t.Logf("note: max batch %d (timing-dependent; coalescing not observed this run)", st.MaxBatch)
+	}
+}
+
+// TestShardedCacheEvictions pins the sharded LRU's accounting: occupancy
+// never exceeds the configured bound (± the per-shard rounding) and every
+// displaced entry is counted as an eviction.
+func TestShardedCacheEvictions(t *testing.T) {
+	const maxResults = 8
+	c := NewCache(CacheConfig{MaxResults: maxResults, Shards: 4})
+	const inserts = 100
+	for i := 0; i < inserts; i++ {
+		key := fmt.Sprintf("result-%d", i)
+		c.storeResult(key, &Result{Size: i})
+	}
+	st := c.Stats()
+	if st.Shards != 4 {
+		t.Fatalf("shards = %d, want 4", st.Shards)
+	}
+	// MaxResults is distributed exactly (2 per shard here), so with every
+	// shard saturated the residency equals the configured bound.
+	if st.Results != maxResults {
+		t.Fatalf("results resident = %d, want %d", st.Results, maxResults)
+	}
+	if st.ResultEvictions != int64(inserts-st.Results) {
+		t.Fatalf("evictions = %d, want %d (inserts %d - resident %d)",
+			st.ResultEvictions, inserts-st.Results, inserts, st.Results)
+	}
+	// Resident entries must still be retrievable; evicted ones must miss.
+	hits, misses := 0, 0
+	for i := 0; i < inserts; i++ {
+		if _, ok := c.lookupResult(fmt.Sprintf("result-%d", i)); ok {
+			hits++
+		} else {
+			misses++
+		}
+	}
+	if hits != st.Results {
+		t.Fatalf("lookup hits = %d, want %d", hits, st.Results)
+	}
+	st = c.Stats()
+	if st.ResultHits != int64(hits) || st.ResultMisses != int64(misses) {
+		t.Fatalf("hit/miss counters %d/%d, want %d/%d", st.ResultHits, st.ResultMisses, hits, misses)
+	}
+
+	// A MaxResults below the shard count must shrink the shard count, not
+	// inflate the bound to one entry per shard.
+	small := NewCache(CacheConfig{MaxResults: 3, Shards: 16})
+	for i := 0; i < 50; i++ {
+		small.storeResult(fmt.Sprintf("k%d", i), &Result{Size: i})
+	}
+	if sst := small.Stats(); sst.Results > 3 {
+		t.Fatalf("MaxResults=3 cache holds %d results (shards=%d)", sst.Results, sst.Shards)
+	}
+}
+
+// TestShardedCacheSharesInstances: the same graph interned through many
+// concurrent sessions resolves to one shared *Instance, regardless of
+// which shard its keys land on.
+func TestShardedCacheSharesInstances(t *testing.T) {
+	_, _, payload := testInstancePayload(t)
+	c := NewCache(CacheConfig{Shards: 8})
+	const goroutines = 16
+	insts := make([]*Instance, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := NewSession(c)
+			inst, err := s.Instance(payload)
+			if err != nil {
+				t.Errorf("session %d: %v", i, err)
+				return
+			}
+			insts[i] = inst
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i := 1; i < goroutines; i++ {
+		if insts[i].Key != insts[0].Key {
+			t.Fatalf("session %d interned a different instance key", i)
+		}
+	}
+	if st := c.Stats(); st.Instances != 1 {
+		t.Fatalf("instances resident = %d, want 1", st.Instances)
+	}
+}

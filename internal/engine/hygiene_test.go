@@ -1,0 +1,30 @@
+package engine
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestTransportFree enforces the layering rule from the package comment:
+// neither the engine nor the root bmatch facade may link net/http (or any
+// other transport) into library-only consumers. CI runs the same check as
+// a standalone step; this test keeps it enforced for anyone running plain
+// `go test ./...`.
+func TestTransportFree(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not available")
+	}
+	for _, pkg := range []string{"repro", "repro/internal/engine"} {
+		out, err := exec.Command(goBin, "list", "-deps", pkg).Output()
+		if err != nil {
+			t.Fatalf("go list -deps %s: %v", pkg, err)
+		}
+		for _, dep := range strings.Fields(string(out)) {
+			if dep == "net/http" || dep == "net" || dep == "repro/internal/httpapi" {
+				t.Errorf("%s links %s; the engine and the facade must stay transport-free", pkg, dep)
+			}
+		}
+	}
+}

@@ -1,4 +1,4 @@
-package serve
+package engine
 
 import (
 	"context"
@@ -13,16 +13,16 @@ import (
 
 // ErrQueueFull is returned by Submit when the bounded request queue is at
 // capacity; HTTP maps it to 429 so clients can back off.
-var ErrQueueFull = errors.New("serve: request queue full")
+var ErrQueueFull = errors.New("engine: request queue full")
 
 // ErrClosed is returned by Submit after Close.
-var ErrClosed = errors.New("serve: pool closed")
+var ErrClosed = errors.New("engine: pool closed")
 
 // ErrDecodeBusy is returned by DecodeFrom when all decode slots are taken;
 // HTTP maps it to 429. Decoding (body buffering + adjacency building) is
 // the most expensive pre-solve stage, so it gets its own admission bound
-// rather than running unboundedly on handler goroutines.
-var ErrDecodeBusy = errors.New("serve: too many concurrent decodes")
+// rather than running unboundedly on caller goroutines.
+var ErrDecodeBusy = errors.New("engine: too many concurrent decodes")
 
 // PoolConfig sizes the worker pool. Zero values select the defaults.
 type PoolConfig struct {
@@ -102,10 +102,18 @@ type PoolStats struct {
 	// -queue/-workers).
 	DecodeRejected int64 `json:"decodeRejected"`
 	Completed      int64 `json:"completed"`
-	Canceled       int64 `json:"canceled"`
-	Errors         int64 `json:"errors"`
-	Batches        int64 `json:"batches"`
-	MaxBatch       int64 `json:"maxBatch"`
+	// Canceled counts requests whose context was already dead when a
+	// worker picked them up — the caller gave up while the job sat in the
+	// queue, so no solve ever started. Each cancellation lands in exactly
+	// one of Canceled or SolveCanceled.
+	Canceled int64 `json:"canceled"`
+	// SolveCanceled counts solves aborted mid-run by context cancellation
+	// or deadline: the worker was freed at a solver round boundary instead
+	// of running the solve to completion.
+	SolveCanceled int64 `json:"solveCanceled"`
+	Errors        int64 `json:"errors"`
+	Batches       int64 `json:"batches"`
+	MaxBatch      int64 `json:"maxBatch"`
 }
 
 type job struct {
@@ -138,11 +146,12 @@ type Pool struct {
 	decodeRejected atomic.Int64
 	completed      atomic.Int64
 	canceled       atomic.Int64
+	solveCanceled  atomic.Int64
 	errs           atomic.Int64
 	batches        atomic.Int64
 	maxBatch       atomic.Int64
 
-	// decodeSessions hands out sessions for request decoding on handler
+	// decodeSessions hands out sessions for request decoding on caller
 	// goroutines, separate from the solver workers' own sessions.
 	decodeSessions sync.Pool
 }
@@ -181,8 +190,10 @@ func (p *Pool) Decode(payload []byte) (*Instance, error) {
 
 // DecodeFrom reads a request body into a pooled session's reused buffer
 // and decodes it, failing fast with ErrDecodeBusy when all decode slots
-// are taken. Safe for concurrent use.
-func (p *Pool) DecodeFrom(r io.Reader, limit int64) (*Instance, error) {
+// are taken. ctx cancellation aborts the body read between chunks, so an
+// expired request cannot hold a decode slot for the rest of its body.
+// Safe for concurrent use.
+func (p *Pool) DecodeFrom(ctx context.Context, r io.Reader, limit int64) (*Instance, error) {
 	select {
 	case p.decodeSem <- struct{}{}:
 	default:
@@ -192,13 +203,14 @@ func (p *Pool) DecodeFrom(r io.Reader, limit int64) (*Instance, error) {
 	defer func() { <-p.decodeSem }()
 	s := p.decodeSessions.Get().(*Session)
 	defer p.decodeSessions.Put(s)
-	return s.ReadInstance(r, limit)
+	return s.ReadInstance(ctx, r, limit)
 }
 
 // Submit enqueues a solve and waits for its result. It fails fast with
 // ErrQueueFull when the queue is at capacity and returns ctx's error if the
 // caller gives up while queued (the solve itself is then skipped by the
-// worker).
+// worker) or while solving (the solver aborts at its next round boundary
+// and the worker moves on).
 func (p *Pool) Submit(ctx context.Context, inst *Instance, spec Spec) (*Result, error) {
 	spec.Workers = p.cfg.SolverWorkers
 	j := &job{ctx: ctx, inst: inst, spec: spec, done: make(chan jobDone, 1)}
@@ -220,12 +232,15 @@ func (p *Pool) Submit(ctx context.Context, inst *Instance, spec Spec) (*Result, 
 	case d := <-j.done:
 		return d.res, d.err
 	case <-ctx.Done():
-		p.canceled.Add(1)
+		// The caller stops waiting; the worker still processes the job and
+		// does the counting (canceled-in-queue vs cancelled mid-solve), so
+		// one cancellation is never counted twice.
 		return nil, ctx.Err()
 	}
 }
 
-// Close drains the queue and stops the workers. Queued jobs still complete.
+// Close drains the queue and stops the workers. Queued jobs still complete
+// (cancel their contexts first for a fast drain).
 func (p *Pool) Close() {
 	p.mu.Lock()
 	if p.closed {
@@ -294,22 +309,29 @@ func (p *Pool) worker() {
 	}
 }
 
+// run executes one job with its own context: coalesced jobs share a solve
+// only through the result cache, so one caller's cancellation never fails
+// another's request.
 func (p *Pool) run(s *Session, j *job) {
 	if err := j.ctx.Err(); err != nil {
+		p.canceled.Add(1)
 		j.done <- jobDone{err: err}
 		return
 	}
 	defer func() {
 		if r := recover(); r != nil {
 			p.errs.Add(1)
-			j.done <- jobDone{err: fmt.Errorf("serve: solver panic: %v", r)}
+			j.done <- jobDone{err: fmt.Errorf("engine: solver panic: %v", r)}
 		}
 	}()
-	res, err := s.Solve(j.inst, j.spec)
-	if err != nil {
-		p.errs.Add(1)
-	} else {
+	res, err := s.Solve(j.ctx, j.inst, j.spec)
+	switch {
+	case err == nil:
 		p.completed.Add(1)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		p.solveCanceled.Add(1)
+	default:
+		p.errs.Add(1)
 	}
 	j.done <- jobDone{res: res, err: err}
 }
@@ -324,6 +346,7 @@ func (p *Pool) Stats() PoolStats {
 		DecodeRejected: p.decodeRejected.Load(),
 		Completed:      p.completed.Load(),
 		Canceled:       p.canceled.Load(),
+		SolveCanceled:  p.solveCanceled.Load(),
 		Errors:         p.errs.Load(),
 		Batches:        p.batches.Load(),
 		MaxBatch:       p.maxBatch.Load(),

@@ -15,6 +15,7 @@
 package frac
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -244,6 +245,18 @@ func FixedThresholds(p *Problem, c float64) ThresholdFn {
 // By Lemma 3.4 the result is LP-feasible with Σ_{e∈E(v)} x_e ≤ 0.8·b_v, and
 // by Lemma 3.5 |E_loose(x, 0.2)| ≤ 5|E|/2^T.
 func (p *Problem) Sequential(T int, thresholds ThresholdFn, r *rng.RNG) []float64 {
+	x, err := p.SequentialCtx(context.Background(), T, thresholds, r)
+	if err != nil {
+		panic(err) // unreachable: the background context never cancels
+	}
+	return x
+}
+
+// SequentialCtx is Sequential with cooperative cancellation: ctx is checked
+// at every round boundary, and a cancelled run returns ctx's error with no
+// partial solution. A completed run is bit-identical to Sequential with the
+// same inputs.
+func (p *Problem) SequentialCtx(ctx context.Context, T int, thresholds ThresholdFn, r *rng.RNG) ([]float64, error) {
 	if thresholds == nil {
 		thresholds = NewThresholds(p, T, r)
 	}
@@ -255,6 +268,9 @@ func (p *Problem) Sequential(T int, thresholds ThresholdFn, r *rng.RNG) []float6
 	}
 	y := make([]float64, g.N)
 	for t := 1; t <= T; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// y_{v,t-1} = Σ_{e∈E(v)} x_{e,t-1}
 		for v := range y {
 			y[v] = 0
@@ -278,7 +294,7 @@ func (p *Problem) Sequential(T int, thresholds ThresholdFn, r *rng.RNG) []float6
 			}
 		}
 	}
-	return x
+	return x, nil
 }
 
 // TightRounds returns ⌈log2(5m+1)⌉, the number of Sequential rounds that

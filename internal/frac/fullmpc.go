@@ -7,6 +7,7 @@
 package frac
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/mpc"
@@ -43,12 +44,25 @@ type FullResult struct {
 // together with the round/memory measurements. On return, if Converged is
 // true the solution is 0.05-tight (Lemma 3.15).
 func (p *Problem) FullMPC(params MPCParams, r *rng.RNG) *FullResult {
+	res, err := p.FullMPCCtx(context.Background(), params, r)
+	if err != nil {
+		panic(err) // unreachable: the background context never cancels
+	}
+	return res
+}
+
+// FullMPCCtx is FullMPC with cooperative cancellation: ctx is checked at
+// every while-loop iteration (and, inside each compression step, at every
+// simulator superstep boundary), so a cancelled solve aborts within one
+// round of work and returns ctx's error with no partial solution. A
+// completed run is bit-identical to FullMPC with the same inputs.
+func (p *Problem) FullMPCCtx(ctx context.Context, params MPCParams, r *rng.RNG) (*FullResult, error) {
 	g := p.G
 	n, m := g.N, g.M()
 	res := &FullResult{X: make([]float64, m)}
 	if m == 0 {
 		res.Converged = true
-		return res
+		return res, nil
 	}
 
 	active := make([]int32, m)
@@ -59,6 +73,9 @@ func (p *Problem) FullMPC(params MPCParams, r *rng.RNG) *FullResult {
 	stallStreak := 0
 
 	for iter := 0; iter < params.MaxIterations && len(active) > 0; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res.Iterations++
 		stat := IterStat{
 			ActiveEdges:  len(active),
@@ -89,7 +106,10 @@ func (p *Problem) FullMPC(params MPCParams, r *rng.RNG) *FullResult {
 		useMPC := float64(len(active)) >= switchBelow && stallStreak < 3
 		var xPrime []float64
 		if useMPC {
-			or := subProb.OneRoundMPC(params, nil, r.Split())
+			or, err := subProb.OneRoundMPCCtx(ctx, params, nil, r.Split())
+			if err != nil {
+				return nil, err
+			}
 			xPrime = or.X
 			stat.UsedMPC = true
 			stat.SimRounds = or.Stats.Rounds
@@ -108,7 +128,11 @@ func (p *Problem) FullMPC(params MPCParams, r *rng.RNG) *FullResult {
 				res.SimStats.MaxMachineWords = or.Stats.MaxMachineWords
 			}
 		} else {
-			xPrime = subProb.Sequential(TightRounds(len(active)), nil, r.Split())
+			var err error
+			xPrime, err = subProb.SequentialCtx(ctx, TightRounds(len(active)), nil, r.Split())
+			if err != nil {
+				return nil, err
+			}
 			res.SequentialSteps++
 			res.TotalSimRounds++ // one simulated machine-local round
 		}
@@ -129,7 +153,7 @@ func (p *Problem) FullMPC(params MPCParams, r *rng.RNG) *FullResult {
 		res.History = append(res.History, stat)
 	}
 	res.Converged = len(active) == 0
-	return res
+	return res, nil
 }
 
 // intersectLoose returns the members of active that lie in E_loose(x, α).

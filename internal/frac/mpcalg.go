@@ -9,6 +9,7 @@
 package frac
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -93,10 +94,25 @@ type vertSum struct {
 // OneRoundMPC executes Algorithm 2 on the MPC simulator. thresholds may be
 // nil (a fresh table is drawn). The returned x̃ is always LP-feasible.
 func (p *Problem) OneRoundMPC(params MPCParams, thresholds ThresholdFn, r *rng.RNG) *OneRoundResult {
+	res, err := p.OneRoundMPCCtx(context.Background(), params, thresholds, r)
+	if err != nil {
+		panic(err) // unreachable: the background context never cancels
+	}
+	return res
+}
+
+// OneRoundMPCCtx is OneRoundMPC with cooperative cancellation: the
+// simulator checks ctx at every superstep boundary and the driver aborts
+// between supersteps, returning ctx's error with no partial solution. A
+// completed run is bit-identical to OneRoundMPC with the same inputs.
+func (p *Problem) OneRoundMPCCtx(ctx context.Context, params MPCParams, thresholds ThresholdFn, r *rng.RNG) (*OneRoundResult, error) {
 	g := p.G
 	n, m := g.N, g.M()
 	if m == 0 {
-		return &OneRoundResult{X: make([]float64, 0), N: 1, Machines: 1}
+		return &OneRoundResult{X: make([]float64, 0), N: 1, Machines: 1}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	davg := g.AvgDeg()
 	N := int(math.Ceil(math.Sqrt(davg)))
@@ -128,6 +144,7 @@ func (p *Problem) OneRoundMPC(params MPCParams, thresholds ThresholdFn, r *rng.R
 		mtot = extra
 	}
 	sim := mpc.NewSimWithWorkers(mtot, params.Workers)
+	sim.SetContext(ctx)
 
 	// Input layout (arbitrary initial distribution, as the model allows):
 	// edge e starts at machine e mod mtot.
@@ -197,6 +214,9 @@ func (p *Problem) OneRoundMPC(params MPCParams, thresholds ThresholdFn, r *rng.R
 		}
 		mm.Release(sent)
 	})
+	if err := sim.Err(); err != nil {
+		return nil, err
+	}
 
 	// heldEdges[i]: edges machine i computes x̃ for.
 	heldEdges := make([][]int32, mtot)
@@ -284,6 +304,9 @@ func (p *Problem) OneRoundMPC(params MPCParams, thresholds ThresholdFn, r *rng.R
 			}
 		}
 	})
+	if err := sim.Err(); err != nil {
+		return nil, err
+	}
 
 	// ---- Round 3: edge holders compute x̃_{e,T} and scatter per-vertex
 	// partial sums to vertex homes. ----
@@ -327,6 +350,9 @@ func (p *Problem) OneRoundMPC(params MPCParams, thresholds ThresholdFn, r *rng.R
 			}
 		}
 	})
+	if err := sim.Err(); err != nil {
+		return nil, err
+	}
 
 	// ---- Round 4: vertex homes detect bad vertices and notify holders. ----
 	badMsgs := sim.Exchange(func(mm *mpc.Machine) {
@@ -356,6 +382,9 @@ func (p *Problem) OneRoundMPC(params MPCParams, thresholds ThresholdFn, r *rng.R
 			}
 		}
 	})
+	if err := sim.Err(); err != nil {
+		return nil, err
+	}
 
 	// ---- Round 5: holders zero out edges incident to bad vertices. ----
 	sim.Round(func(mm *mpc.Machine) {
@@ -376,6 +405,10 @@ func (p *Problem) OneRoundMPC(params MPCParams, thresholds ThresholdFn, r *rng.R
 		}
 	})
 
+	if err := sim.Err(); err != nil {
+		return nil, err
+	}
+
 	return &OneRoundResult{
 		X:               xFinal,
 		N:               N,
@@ -383,7 +416,7 @@ func (p *Problem) OneRoundMPC(params MPCParams, thresholds ThresholdFn, r *rng.R
 		Machines:        mtot,
 		MaxMachineEdges: maxMachineEdges,
 		Stats:           sim.Stats(),
-	}
+	}, nil
 }
 
 func sortInt32(s []int32) {

@@ -1,49 +1,68 @@
-package serve
+// Package httpapi is the HTTP/JSON transport over the transport-free
+// serving engine (internal/engine): request parsing and validation at the
+// wire boundary, the streaming result encoder, the limits/backpressure
+// policy (429 on queue or decode-slot exhaustion, 413 on oversized bodies),
+// and per-request deadlines (timeout_ms → 504). It holds the only
+// net/http dependency of the serving stack; the engine must never grow
+// one (see the layering rule in internal/engine's package comment).
+package httpapi
 
 import (
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/engine"
 )
 
-// ServerConfig sizes the HTTP surface. Zero values select the defaults.
-type ServerConfig struct {
-	Pool PoolConfig
+// Config sizes the HTTP surface. Zero values select the defaults.
+type Config struct {
 	// MaxBodyBytes bounds accepted request bodies (default 256 MiB).
 	MaxBodyBytes int64
+	// MaxTimeout caps the per-request deadline clients may set via
+	// timeout_ms (default 10 minutes). Longer requests are clamped.
+	MaxTimeout time.Duration
 }
 
-func (c ServerConfig) withDefaults() ServerConfig {
+func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 256 << 20
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
 	}
 	return c
 }
 
 // Server is the bmatchd HTTP surface:
 //
-//	POST /v1/solve?algo=approx|max|maxw|greedy&eps=&seed=&paper=&nocache=
+//	POST /v1/solve?algo=approx|max|maxw|greedy&eps=&seed=&paper=&nocache=&timeout_ms=
 //	     body: instance in graphio text or binary format (sniffed)
 //	     response: JSON result; the matched-edge array is streamed
 //	GET  /v1/healthz
 //	GET  /v1/stats
+//
+// It owns no solver state of its own: all sessions, caches, and admission
+// control live in the engine.Pool it wraps.
 type Server struct {
-	cfg     ServerConfig
-	pool    *Pool
-	mux     *http.ServeMux
-	started time.Time
+	cfg      Config
+	pool     *engine.Pool
+	mux      *http.ServeMux
+	started  time.Time
+	draining atomic.Bool
 }
 
-// NewServer builds a server and its worker pool.
-func NewServer(cfg ServerConfig) *Server {
-	cfg = cfg.withDefaults()
+// NewServer wraps pool with the HTTP surface.
+func NewServer(pool *engine.Pool, cfg Config) *Server {
 	s := &Server{
-		cfg:     cfg,
-		pool:    NewPool(cfg.Pool),
+		cfg:     cfg.withDefaults(),
+		pool:    pool,
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 	}
@@ -56,14 +75,41 @@ func NewServer(cfg ServerConfig) *Server {
 // Handler returns the HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Pool returns the server's worker pool (for stats and tests).
-func (s *Server) Pool() *Pool { return s.pool }
+// Pool returns the wrapped worker pool (for stats and tests).
+func (s *Server) Pool() *engine.Pool { return s.pool }
+
+// SetDraining marks the server as shutting down: in-flight requests whose
+// contexts the owner is about to cancel will answer 503 + Retry-After
+// (retry against another replica) instead of 408 (client's fault). Call it
+// just before cancelling the solve contexts.
+func (s *Server) SetDraining() { s.draining.Store(true) }
 
 // Close stops the worker pool; queued requests still complete.
 func (s *Server) Close() { s.pool.Close() }
 
 type errorBody struct {
 	Error string `json:"error"`
+}
+
+// writeCancelError maps a context error from a cancelled request to the
+// right status: 504 when the client's own timeout_ms deadline expired, 503
+// with Retry-After when the daemon is draining (a server event the client
+// should retry elsewhere — 4xx would tell retry policies not to), and 408
+// when the client itself went away.
+func (s *Server) writeCancelError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		// The timeout_ms deadline elapsed before the work finished; the
+		// solver aborted at a round boundary and the worker is free again.
+		writeError(w, http.StatusGatewayTimeout,
+			fmt.Errorf("httpapi: request exceeded the requested deadline: %w", err))
+	case s.draining.Load():
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("httpapi: server is shutting down: %w", err))
+	default:
+		writeError(w, http.StatusRequestTimeout, err)
+	}
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
@@ -73,37 +119,56 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	spec, err := specFromQuery(r)
+	spec, timeout, err := specFromQuery(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	inst, err := s.pool.DecodeFrom(r.Body, s.cfg.MaxBodyBytes)
+	// The solve context is the request context (cancelled when the client
+	// goes away or the daemon drains), optionally tightened by the
+	// client's own deadline. It is derived before decoding so timeout_ms
+	// budgets the whole request, not just queue + solve; the engine
+	// threads it down to every solver round boundary, so any of the three
+	// frees the worker mid-solve.
+	ctx := r.Context()
+	if timeout > 0 {
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	inst, err := s.pool.DecodeFrom(ctx, r.Body, s.cfg.MaxBodyBytes)
 	switch {
-	case errors.Is(err, ErrDecodeBusy):
+	case errors.Is(err, engine.ErrDecodeBusy):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, err)
 		return
-	case errors.Is(err, ErrBodyTooLarge):
+	case errors.Is(err, engine.ErrBodyTooLarge):
 		writeError(w, http.StatusRequestEntityTooLarge,
-			fmt.Errorf("serve: request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+			fmt.Errorf("httpapi: request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+		return
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		// The deadline or the client expired while the body was still
+		// arriving; same replies as the post-solve cases below.
+		s.writeCancelError(w, err)
 		return
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.pool.Submit(r.Context(), inst, spec)
+	res, err := s.pool.Submit(ctx, inst, spec)
 	switch {
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, engine.ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, err)
 		return
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, engine.ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		// The client gave up while the request was queued.
-		writeError(w, http.StatusRequestTimeout, err)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.writeCancelError(w, err)
 		return
 	case err != nil:
 		// The request was already validated, so what remains (solver
@@ -116,48 +181,63 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 }
 
 // specFromQuery parses and validates the solve parameters; validation at
-// the request boundary mirrors bmatch.Options.Validate.
-func specFromQuery(r *http.Request) (Spec, error) {
+// the request boundary mirrors bmatch.Options.Validate. The second return
+// is the client's requested deadline (0 = none).
+func specFromQuery(r *http.Request) (engine.Spec, time.Duration, error) {
 	q := r.URL.Query()
-	spec := Spec{Algo: AlgoMaxWeight}
+	spec := engine.Spec{Algo: engine.AlgoMaxWeight}
+	var timeout time.Duration
 	if a := q.Get("algo"); a != "" {
-		spec.Algo = Algo(a)
+		spec.Algo = engine.Algo(a)
 	}
 	if e := q.Get("eps"); e != "" {
 		v, err := strconv.ParseFloat(e, 64)
 		if err != nil {
-			return spec, fmt.Errorf("serve: bad eps %q", e)
+			return spec, 0, fmt.Errorf("httpapi: bad eps %q", e)
 		}
 		spec.Eps = v
 	}
 	if sd := q.Get("seed"); sd != "" {
 		v, err := strconv.ParseInt(sd, 10, 64)
 		if err != nil {
-			return spec, fmt.Errorf("serve: bad seed %q", sd)
+			return spec, 0, fmt.Errorf("httpapi: bad seed %q", sd)
 		}
 		spec.Seed = v
 	}
 	if p := q.Get("paper"); p != "" {
 		v, err := strconv.ParseBool(p)
 		if err != nil {
-			return spec, fmt.Errorf("serve: bad paper %q", p)
+			return spec, 0, fmt.Errorf("httpapi: bad paper %q", p)
 		}
 		spec.PaperConstants = v
 	}
 	if nc := q.Get("nocache"); nc != "" {
 		v, err := strconv.ParseBool(nc)
 		if err != nil {
-			return spec, fmt.Errorf("serve: bad nocache %q", nc)
+			return spec, 0, fmt.Errorf("httpapi: bad nocache %q", nc)
 		}
 		spec.NoCache = v
 	}
-	return spec, spec.Validate()
+	if tm := q.Get("timeout_ms"); tm != "" {
+		v, err := strconv.ParseInt(tm, 10, 64)
+		if err != nil || v <= 0 {
+			return spec, 0, fmt.Errorf("httpapi: bad timeout_ms %q (want a positive integer)", tm)
+		}
+		// Saturate instead of multiplying: a huge value must clamp to
+		// MaxTimeout in the handler, not overflow Duration to a negative
+		// number (which would read as "no deadline").
+		if maxMs := int64(math.MaxInt64 / int64(time.Millisecond)); v > maxMs {
+			v = maxMs
+		}
+		timeout = time.Duration(v) * time.Millisecond
+	}
+	return spec, timeout, spec.Validate()
 }
 
 // streamResult writes the result as one JSON object, streaming the
 // matched-edge array in chunks so multi-million-edge matchings flow to the
 // client without a response-sized buffer.
-func streamResult(w http.ResponseWriter, res *Result) {
+func streamResult(w http.ResponseWriter, res *engine.Result) {
 	w.Header().Set("Content-Type", "application/json")
 	flusher, _ := w.(http.Flusher)
 
@@ -178,7 +258,7 @@ func streamResult(w http.ResponseWriter, res *Result) {
 	buf = strconv.AppendBool(buf, res.Feasible)
 	buf = append(buf, `,"cached":`...)
 	buf = strconv.AppendBool(buf, res.FromCache)
-	if res.Algo == AlgoApprox {
+	if res.Algo == engine.AlgoApprox {
 		buf = append(buf, `,"cert":{"dualBound":`...)
 		buf = strconv.AppendFloat(buf, res.DualBound, 'g', -1, 64)
 		buf = append(buf, `,"fracValue":`...)
@@ -236,8 +316,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // statsBody is the /v1/stats response.
 type statsBody struct {
-	Pool  PoolStats  `json:"pool"`
-	Cache CacheStats `json:"cache"`
+	Pool  engine.PoolStats  `json:"pool"`
+	Cache engine.CacheStats `json:"cache"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

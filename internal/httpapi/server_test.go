@@ -1,8 +1,7 @@
-package serve
+package httpapi
 
 import (
 	"bytes"
-	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -11,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/graphio"
 	"repro/internal/matching"
@@ -22,6 +22,17 @@ func testInstancePayload(tb testing.TB) (*graph.Graph, graph.Budgets, []byte) {
 	r := rng.New(7)
 	g, b := graph.ClientServer(160, 10, 5, 3, 20, r.Split())
 	return g, b, graphio.AppendBinary(g, b)
+}
+
+func newTestServer(tb testing.TB, poolCfg engine.PoolConfig, cfg Config) (*Server, *httptest.Server) {
+	tb.Helper()
+	srv := NewServer(engine.NewPool(poolCfg), cfg)
+	ts := httptest.NewServer(srv.Handler())
+	tb.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
 }
 
 type solveResponse struct {
@@ -82,10 +93,7 @@ func checkFeasible(t *testing.T, g *graph.Graph, b graph.Budgets, edges []int32,
 // matchings) and deterministically per seed.
 func TestConcurrentMaxWeight(t *testing.T) {
 	g, b, payload := testInstancePayload(t)
-	srv := NewServer(ServerConfig{Pool: PoolConfig{Workers: 8, QueueDepth: 64}})
-	defer srv.Close()
-	ts := httptest.NewServer(srv.Handler())
-	defer ts.Close()
+	_, ts := newTestServer(t, engine.PoolConfig{Workers: 8, QueueDepth: 64}, Config{})
 
 	const requests = 48
 	const seeds = 6
@@ -141,10 +149,7 @@ func TestConcurrentMaxWeight(t *testing.T) {
 // approx certificate fields.
 func TestAllAlgosServe(t *testing.T) {
 	g, b, payload := testInstancePayload(t)
-	srv := NewServer(ServerConfig{Pool: PoolConfig{Workers: 2}})
-	defer srv.Close()
-	ts := httptest.NewServer(srv.Handler())
-	defer ts.Close()
+	_, ts := newTestServer(t, engine.PoolConfig{Workers: 2}, Config{})
 
 	for _, algo := range []string{"approx", "max", "maxw", "greedy"} {
 		out, code := postSolve(t, ts.Client(), ts.URL, payload, "algo="+algo+"&seed=3")
@@ -170,10 +175,7 @@ func TestAllAlgosServe(t *testing.T) {
 // hit, and text/binary posts of the same graph must share one instance.
 func TestResultAndInstanceCache(t *testing.T) {
 	g, b, payload := testInstancePayload(t)
-	srv := NewServer(ServerConfig{})
-	defer srv.Close()
-	ts := httptest.NewServer(srv.Handler())
-	defer ts.Close()
+	_, ts := newTestServer(t, engine.PoolConfig{}, Config{})
 
 	first, _ := postSolve(t, ts.Client(), ts.URL, payload, "algo=greedy&seed=1")
 	second, _ := postSolve(t, ts.Client(), ts.URL, payload, "algo=greedy&seed=1")
@@ -200,10 +202,7 @@ func TestResultAndInstanceCache(t *testing.T) {
 
 func TestBadRequests(t *testing.T) {
 	_, _, payload := testInstancePayload(t)
-	srv := NewServer(ServerConfig{})
-	defer srv.Close()
-	ts := httptest.NewServer(srv.Handler())
-	defer ts.Close()
+	_, ts := newTestServer(t, engine.PoolConfig{}, Config{})
 
 	cases := []struct {
 		name    string
@@ -216,6 +215,7 @@ func TestBadRequests(t *testing.T) {
 		{"negative eps", "algo=maxw&eps=-0.5", payload, http.StatusBadRequest},
 		{"eps NaN", "algo=maxw&eps=NaN", payload, http.StatusBadRequest},
 		{"bad seed", "algo=maxw&seed=xyz", payload, http.StatusBadRequest},
+		{"bad timeout", "algo=maxw&timeout_ms=-5", payload, http.StatusBadRequest},
 		{"garbage body", "algo=maxw", []byte("BMG1\x00\x05"), http.StatusBadRequest},
 		{"truncated text", "algo=maxw", []byte("n 5\ne 0"), http.StatusBadRequest},
 	}
@@ -228,115 +228,38 @@ func TestBadRequests(t *testing.T) {
 
 func TestBodyLimit(t *testing.T) {
 	_, _, payload := testInstancePayload(t)
-	srv := NewServer(ServerConfig{MaxBodyBytes: 16})
-	defer srv.Close()
-	ts := httptest.NewServer(srv.Handler())
-	defer ts.Close()
+	_, ts := newTestServer(t, engine.PoolConfig{}, Config{MaxBodyBytes: 16})
 	if _, code := postSolve(t, ts.Client(), ts.URL, payload, "algo=greedy"); code != http.StatusRequestEntityTooLarge {
 		t.Fatalf("status %d, want 413", code)
 	}
 }
 
-// TestQueueFull pins the bounded-admission contract at the Pool level: with
-// one blocked worker and a single queue slot, an extra submit fails fast
-// with ErrQueueFull.
-func TestQueueFull(t *testing.T) {
-	p := NewPool(PoolConfig{Workers: 1, QueueDepth: 1, BatchMax: 1})
-	defer p.Close()
+// TestTimeoutMs pins the per-request deadline contract: a deadline far
+// shorter than the solve yields a 504, the aborted solve is counted as a
+// mid-solve cancellation (or a queued-cancel when the deadline fires
+// first), and the worker is free again — the follow-up request computes
+// fine.
+func TestTimeoutMs(t *testing.T) {
 	_, _, payload := testInstancePayload(t)
-	inst, err := p.Decode(payload)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Saturate: one job running (worker pulled it), one in the queue slot.
-	// maxw on this instance is slow enough to hold the worker while the
-	// rest of the test runs.
-	type res struct {
-		err error
-	}
-	done := make(chan res, 3)
-	submit := func(seed int64) {
-		// The two saturators race each other for the single queue slot, so
-		// one may itself bounce; retry until it is admitted.
-		for {
-			_, err := p.Submit(context.Background(), inst, Spec{Algo: AlgoMaxWeight, Seed: seed, NoCache: true})
-			if err != ErrQueueFull {
-				done <- res{err}
-				return
-			}
-			time.Sleep(time.Millisecond)
-		}
-	}
-	go submit(1)
-	go submit(2)
-	// Wait until one job is running and the queue slot is full.
-	for i := 0; len(p.queue) < 1; i++ {
-		if i > 5000 {
-			t.Fatal("queue never filled")
-		}
-		time.Sleep(time.Millisecond)
-	}
-	var sawFull bool
-	for try := int64(0); try < 200 && !sawFull; try++ {
-		_, err := p.Submit(context.Background(), inst, Spec{Algo: AlgoGreedy, Seed: 100 + try, NoCache: true})
-		sawFull = err == ErrQueueFull
-	}
-	if !sawFull {
-		t.Error("never observed ErrQueueFull with a saturated queue")
-	}
-	for i := 0; i < 2; i++ {
-		if r := <-done; r.err != nil {
-			t.Fatalf("saturating job failed: %v", r.err)
-		}
-	}
-}
+	srv, ts := newTestServer(t, engine.PoolConfig{Workers: 1}, Config{})
 
-// TestPoolBatching: while a slow job holds the single worker, a burst of
-// identical requests piles up and is coalesced into one batch (first
-// computes, the rest hit the result cache); a non-matching job must still
-// complete via the carry-over path.
-func TestPoolBatching(t *testing.T) {
-	p := NewPool(PoolConfig{Workers: 1, QueueDepth: 16, BatchMax: 8})
-	defer p.Close()
-	_, _, payload := testInstancePayload(t)
-	inst, err := p.Decode(payload)
-	if err != nil {
-		t.Fatal(err)
+	if _, code := postSolve(t, ts.Client(), ts.URL, payload, "algo=maxw&eps=0.05&seed=1&nocache=true&timeout_ms=1"); code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", code)
 	}
-	var wg sync.WaitGroup
-	submit := func(spec Spec) {
-		defer wg.Done()
-		if _, err := p.Submit(context.Background(), inst, spec); err != nil {
-			t.Errorf("submit %+v: %v", spec, err)
-		}
+	// The worker must be free: an ordinary request right after completes.
+	out, code := postSolve(t, ts.Client(), ts.URL, payload, "algo=greedy&seed=1")
+	if code != http.StatusOK || !out.Feasible {
+		t.Fatalf("follow-up request after timeout: status %d, %+v", code, out)
 	}
-	// Occupy the worker so the rest of the burst queues up behind it.
-	wg.Add(1)
-	go submit(Spec{Algo: AlgoMaxWeight, Seed: 99, NoCache: true})
-	time.Sleep(50 * time.Millisecond)
-	for i := 0; i < 6; i++ {
-		wg.Add(1)
-		go submit(Spec{Algo: AlgoGreedy, Seed: 1})
-	}
-	time.Sleep(50 * time.Millisecond)
-	wg.Add(1)
-	go submit(Spec{Algo: AlgoGreedy, Seed: 2}) // distinct: must not coalesce
-	wg.Wait()
-	st := p.Stats()
-	if st.Completed != 8 {
-		t.Fatalf("completed = %d, want 8", st.Completed)
-	}
-	if st.MaxBatch < 2 {
-		t.Logf("note: max batch %d (timing-dependent; coalescing not observed this run)", st.MaxBatch)
+	st := srv.Pool().Stats()
+	if st.SolveCanceled+st.Canceled < 1 {
+		t.Fatalf("timeout was not counted as a cancellation: %+v", st)
 	}
 }
 
 func TestHealthzAndStats(t *testing.T) {
 	_, _, payload := testInstancePayload(t)
-	srv := NewServer(ServerConfig{})
-	defer srv.Close()
-	ts := httptest.NewServer(srv.Handler())
-	defer ts.Close()
+	_, ts := newTestServer(t, engine.PoolConfig{}, Config{})
 
 	resp, err := ts.Client().Get(ts.URL + "/v1/healthz")
 	if err != nil {
@@ -365,16 +288,16 @@ func TestHealthzAndStats(t *testing.T) {
 	if st.Cache.ResultHits < 1 {
 		t.Fatalf("stats did not count the repeat-request cache hit: %+v", st.Cache)
 	}
+	if st.Cache.Shards < 1 {
+		t.Fatalf("stats did not report the shard count: %+v", st.Cache)
+	}
 }
 
 // TestHostileCountsRejected pins the confirmed DoS fix: an 11-byte payload
 // declaring 2^31-1 vertices must bounce with 400 at the request boundary
 // instead of allocating gigabytes.
 func TestHostileCountsRejected(t *testing.T) {
-	srv := NewServer(ServerConfig{})
-	defer srv.Close()
-	ts := httptest.NewServer(srv.Handler())
-	defer ts.Close()
+	_, ts := newTestServer(t, engine.PoolConfig{}, Config{})
 
 	hostile := []byte(graphio.BinaryMagic)
 	hostile = append(hostile, 0)

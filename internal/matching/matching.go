@@ -6,6 +6,7 @@ package matching
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/graph"
 )
@@ -167,7 +168,11 @@ func (m *BMatching) Validate() error {
 	if sz != m.sz {
 		return fmt.Errorf("matching: cached size %d != actual %d", m.sz, sz)
 	}
-	if diff := wt - m.wt; diff > 1e-9 || diff < -1e-9 {
+	// Relative tolerance: the cached weight accrues in mutation order while
+	// the re-derived sum accrues in edge-id order, so on large matchings the
+	// two float accumulations legitimately differ by O(|wt|·ε) — an absolute
+	// bound would false-positive on any 10⁵-scale total weight.
+	if diff, tol := wt-m.wt, 1e-9*(1+math.Abs(wt)); diff > tol || diff < -tol {
 		return fmt.Errorf("matching: cached weight %v != actual %v", m.wt, wt)
 	}
 	return nil

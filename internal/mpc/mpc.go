@@ -24,6 +24,7 @@
 package mpc
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -59,7 +60,9 @@ type Sim struct {
 	n       int
 	workers int
 	stats   Stats
-	inbox   [][]Message // messages delivered at the start of the current round
+	ctx     context.Context // optional; checked at every superstep boundary
+	err     error           // first observed ctx error; sticky
+	inbox   [][]Message     // messages delivered at the start of the current round
 
 	resident []int64 // per-machine resident words, maintained via Charge/Release
 
@@ -106,6 +109,20 @@ func NewSimWithWorkers(n, workers int) *Sim {
 		resident: make([]int64, n),
 	}
 }
+
+// SetContext attaches ctx to the simulator. Every subsequent Round and
+// Exchange checks it at the superstep boundary; once it is cancelled, all
+// further supersteps are skipped (no callbacks run, no messages are
+// delivered, no rounds are accounted) and Err reports the cause. Algorithms
+// driving a Sim with a context must check Err after each superstep and
+// abort; the skip guarantees the abort costs at most one partial round of
+// wasted work. Cancellation never corrupts determinism: an aborted
+// simulation produces no output, and a fresh run with the same seeds is
+// bit-identical to one that was never cancelled.
+func (s *Sim) SetContext(ctx context.Context) { s.ctx = ctx }
+
+// Err returns the context error that stopped the simulation, or nil.
+func (s *Sim) Err() error { return s.err }
 
 // Machines returns the number of machines.
 func (s *Sim) Machines() int { return s.n }
@@ -186,8 +203,18 @@ func ParallelFor(workers, n int, f func(int)) { par.ParallelFor(workers, n, f) }
 
 // Round executes one superstep: fn runs for every machine in parallel, then
 // queued messages are delivered. It returns after delivery, with all
-// accounting updated.
+// accounting updated. If a context attached via SetContext has been
+// cancelled, the superstep is skipped entirely (see SetContext).
 func (s *Sim) Round(fn func(m *Machine)) {
+	if s.err != nil {
+		return
+	}
+	if s.ctx != nil {
+		if err := s.ctx.Err(); err != nil {
+			s.err = err
+			return
+		}
+	}
 	if s.machines == nil {
 		s.machines = make([]*Machine, s.n)
 		for i := range s.machines {
@@ -347,6 +374,12 @@ func (s *Sim) grab(n int) []Message {
 // slices transfers to the caller; the simulator never reuses them.
 func (s *Sim) Exchange(fn func(m *Machine)) [][]Message {
 	s.Round(fn)
+	if s.err != nil {
+		// Cancelled before the superstep ran: nothing was delivered. Hand
+		// back empty inboxes so callers that process before checking Err see
+		// no phantom messages.
+		return make([][]Message, s.n)
+	}
 	out := s.inbox
 	s.inbox = make([][]Message, s.n)
 	return out

@@ -8,6 +8,8 @@
 package round
 
 import (
+	"context"
+
 	"repro/internal/graph"
 	"repro/internal/matching"
 	"repro/internal/mpc"
@@ -68,6 +70,19 @@ func Sample(g *graph.Graph, b graph.Budgets, x []float64, div float64, r *rng.RN
 // Round runs Params.Repeats independent trials and returns the best
 // b-matching found.
 func Round(g *graph.Graph, b graph.Budgets, x []float64, p Params, r *rng.RNG) *matching.BMatching {
+	m, err := RoundCtx(context.Background(), g, b, x, p, r)
+	if err != nil {
+		panic(err) // unreachable: the background context never cancels
+	}
+	return m
+}
+
+// RoundCtx is Round with cooperative cancellation: trials still running
+// when ctx is cancelled are skipped (each trial checks ctx before it
+// starts), and a cancelled call returns ctx's error with no partial
+// matching. A completed call is bit-identical to Round: the trial RNGs are
+// split off up front and the winner scan is unchanged.
+func RoundCtx(ctx context.Context, g *graph.Graph, b graph.Budgets, x []float64, p Params, r *rng.RNG) (*matching.BMatching, error) {
 	if p.SampleDivisor <= 0 {
 		p.SampleDivisor = 4
 	}
@@ -80,8 +95,14 @@ func Round(g *graph.Graph, b graph.Budgets, x []float64, p Params, r *rng.RNG) *
 	}
 	trials := make([]*matching.BMatching, p.Repeats)
 	mpc.ParallelFor(p.Workers, p.Repeats, func(t int) {
+		if ctx.Err() != nil {
+			return // result discarded below; skipping frees the pool fast
+		}
 		trials[t] = Sample(g, b, x, p.SampleDivisor, rs[t])
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var best *matching.BMatching
 	for _, m := range trials {
 		if best == nil {
@@ -96,7 +117,7 @@ func Round(g *graph.Graph, b graph.Budgets, x []float64, p Params, r *rng.RNG) *
 			best = m
 		}
 	}
-	return best
+	return best, nil
 }
 
 // GreedyFill augments a b-matching greedily: it scans all edges (heaviest

@@ -5,6 +5,7 @@
 package weighted
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/graph"
@@ -107,6 +108,16 @@ type Result struct {
 // If initial is nil, the weight-sorted greedy (2-approximate) is used as the
 // starting point; otherwise initial is improved in place.
 func OnePlusEpsWeighted(g *graph.Graph, b graph.Budgets, initial *matching.BMatching, params Params, r *rng.RNG) (*Result, error) {
+	return OnePlusEpsWeightedCtx(context.Background(), g, b, initial, params, r)
+}
+
+// OnePlusEpsWeightedCtx is OnePlusEpsWeighted with cooperative
+// cancellation: ctx is checked at every driver round (and inside the
+// parallel candidate generation, so cancelled rounds free the worker pool
+// without waiting for all jobs), and a cancelled run returns ctx's error. A
+// fresh uncancelled run with the same seed is bit-identical to
+// OnePlusEpsWeighted.
+func OnePlusEpsWeightedCtx(ctx context.Context, g *graph.Graph, b graph.Budgets, initial *matching.BMatching, params Params, r *rng.RNG) (*Result, error) {
 	params = params.withDefaults()
 	m := initial
 	if m == nil {
@@ -120,6 +131,9 @@ func OnePlusEpsWeighted(g *graph.Graph, b graph.Budgets, initial *matching.BMatc
 	stall := 0
 	retries := params.Retries
 	for round := 0; round < params.MaxRounds && stall < params.StallRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res.Rounds++
 		// Sweep every layer count up to K: short swap walks are far more
 		// likely to survive a small-k layering, long ones need larger k
@@ -139,11 +153,17 @@ func OnePlusEpsWeighted(g *graph.Graph, b graph.Budgets, initial *matching.BMatc
 			}
 		}
 		mpc.ParallelFor(params.Workers, len(jobs), func(j int) {
+			if ctx.Err() != nil {
+				return // round aborts below before using any job output
+			}
 			job := &jobs[j]
 			inst := BuildInstance(m, job.k, job.rB)
 			cands := inst.Grow(job.rG)
 			job.out = ResolveWithin(cands, m, params.KeepProb, job.rR)
 		})
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var pool []Candidate
 		for j := range jobs {
 			pool = append(pool, jobs[j].out...)
