@@ -11,32 +11,34 @@
 //   - (1+ε)-approximate unweighted b-matching via random layered-graph
 //     augmentation (Theorem 4.1),
 //   - (1+ε)-approximate maximum weight b-matching via weighted layering
-//     with scalable conflict resolution (Theorem 5.1), and
-//   - semi-streaming variants using Õ(Σb_v) memory (Section 4.6).
+//     with scalable conflict resolution (Theorem 5.1),
+//   - semi-streaming variants using Õ(Σb_v) memory (Section 4.6), plus
+//   - the fractional LP engine and a greedy baseline.
 //
-// Quickstart:
+// The unified API is one request type and one call:
 //
 //	g, _ := bmatch.NewGraph(4, []bmatch.Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}})
 //	b := bmatch.UniformBudgets(4, 2)
-//	m, err := bmatch.Approx(g, b, bmatch.Options{Seed: 1})
-//	// m.Size(), m.Weight(), m.Edges() ...
+//	rep, err := bmatch.Solve(ctx, g, b, bmatch.Request{Algo: bmatch.AlgoApprox, Seed: 1})
+//	// rep.M.Size(), rep.Weight, rep.Stats.DualBound ...
 //
-// All algorithms are deterministic given Options.Seed.
+// Solve, Session.Solve, and the bmatchd HTTP daemon all dispatch through
+// the same engine, so the same (graph, Request) returns bit-identical
+// results on every path. The older per-algorithm entry points (Approx,
+// Max, MaxWeight, ApproxFractional, StreamMax, ... and their Ctx and
+// Session variants) remain as thin wrappers over Solve.
+//
+// All algorithms are deterministic given Request.Seed.
 package bmatch
 
 import (
 	"context"
 	"fmt"
 
-	"repro/internal/augment"
-	"repro/internal/core"
 	"repro/internal/engine"
-	"repro/internal/frac"
 	"repro/internal/graph"
 	"repro/internal/matching"
-	"repro/internal/rng"
 	"repro/internal/stream"
-	"repro/internal/weighted"
 )
 
 // Edge is an undirected weighted edge; W is ignored by the unweighted
@@ -62,8 +64,10 @@ func NewGraph(n int, edges []Edge) (*Graph, error) { return graph.New(n, edges) 
 // UniformBudgets returns b ≡ k.
 func UniformBudgets(n, k int) Budgets { return graph.UniformBudgets(n, k) }
 
-// Options configures the top-level entry points. The zero value is usable:
-// seed 0, ε = 0.25, practical MPC constants.
+// Options configures the legacy per-algorithm entry points. New code
+// should use Request, which additionally exposes Workers, NoCache, and
+// Progress; Options maps onto a Request with those left at their
+// defaults.
 type Options struct {
 	// Seed makes every run reproducible.
 	Seed int64
@@ -85,16 +89,12 @@ func (o Options) Validate() error {
 	return nil
 }
 
-func (o Options) mpcParams() frac.MPCParams {
-	if o.PaperConstants {
-		return frac.PaperParams()
-	}
-	return frac.PracticalParams()
+// request maps the legacy options onto the unified Request.
+func (o Options) request(algo Algo) Request {
+	return Request{Algo: algo, Eps: o.Eps, Seed: o.Seed, PaperConstants: o.PaperConstants}
 }
 
-func (o Options) eps() float64 { return engine.EpsOrDefault(o.Eps) }
-
-// ApproxStats carries the MPC measurements of an Approx run.
+// ApproxStats carries the MPC measurements of an AlgoApprox run.
 type ApproxStats struct {
 	// CompressionSteps is the number of FullMPC while-loop iterations —
 	// the paper's O(log log d̄) quantity.
@@ -110,8 +110,16 @@ type ApproxStats struct {
 	DualBound float64
 }
 
+// FractionalResult carries a fractional b-matching solution together with
+// its duality certificates. It is the engine's FracSolution — the facade,
+// the engine, and the HTTP surface share one fractional contract.
+type FractionalResult = engine.FracSolution
+
 // Approx computes a Θ(1)-approximate maximum-cardinality b-matching using
 // the paper's O(log log d̄)-round MPC algorithm (Theorem 3.1).
+//
+// Deprecated: use Solve with AlgoApprox; the Report carries the matching
+// and the same stats.
 func Approx(g *Graph, b Budgets, opts Options) (*BMatching, *ApproxStats, error) {
 	return ApproxCtx(context.Background(), g, b, opts)
 }
@@ -121,81 +129,54 @@ func Approx(g *Graph, b Budgets, opts Options) (*BMatching, *ApproxStats, error)
 // and rounding wave, aborting the solve with ctx's error. A completed call
 // is bit-identical to Approx with the same options; a cancelled call
 // returns nothing partial, so re-running it is always safe.
+//
+// Deprecated: use Solve with AlgoApprox.
 func ApproxCtx(ctx context.Context, g *Graph, b Budgets, opts Options) (*BMatching, *ApproxStats, error) {
-	if err := opts.Validate(); err != nil {
-		return nil, nil, err
-	}
-	res, err := core.ConstApproxCtx(ctx, g, b, opts.mpcParams(), rng.New(opts.Seed))
+	rep, err := Solve(ctx, g, b, opts.request(AlgoApprox))
 	if err != nil {
 		return nil, nil, err
 	}
-	return res.M, &ApproxStats{
-		CompressionSteps: res.Frac.Iterations,
-		MPCRounds:        res.Frac.TotalSimRounds,
-		MaxMachineEdges:  res.Frac.MaxMachineEdges,
-		FracValue:        res.FracValue,
-		DualBound:        res.DualBound,
-	}, nil
+	return rep.M, rep.Stats, nil
 }
 
 // Max computes a (1+ε)-approximate maximum-cardinality b-matching
 // (Theorem 4.1).
+//
+// Deprecated: use Solve with AlgoMax.
 func Max(g *Graph, b Budgets, opts Options) (*BMatching, error) {
 	return MaxCtx(context.Background(), g, b, opts)
 }
 
 // MaxCtx is Max with cooperative cancellation (see ApproxCtx; augmentation
 // sweeps are additional cancellation points).
+//
+// Deprecated: use Solve with AlgoMax.
 func MaxCtx(ctx context.Context, g *Graph, b Budgets, opts Options) (*BMatching, error) {
-	if err := opts.Validate(); err != nil {
-		return nil, err
-	}
-	res, err := core.OnePlusEpsUnweightedCtx(ctx, g, b, opts.eps(), opts.mpcParams(),
-		augment.DefaultParams(opts.eps()), rng.New(opts.Seed))
+	rep, err := Solve(ctx, g, b, opts.request(AlgoMax))
 	if err != nil {
 		return nil, err
 	}
-	return res.M, nil
+	return rep.M, nil
 }
 
 // MaxWeight computes a (1+ε)-approximate maximum-weight b-matching
 // (Theorem 5.1).
+//
+// Deprecated: use Solve with AlgoMaxWeight.
 func MaxWeight(g *Graph, b Budgets, opts Options) (*BMatching, error) {
 	return MaxWeightCtx(context.Background(), g, b, opts)
 }
 
 // MaxWeightCtx is MaxWeight with cooperative cancellation, checked at every
 // driver round (see ApproxCtx for the contract).
+//
+// Deprecated: use Solve with AlgoMaxWeight.
 func MaxWeightCtx(ctx context.Context, g *Graph, b Budgets, opts Options) (*BMatching, error) {
-	if err := opts.Validate(); err != nil {
-		return nil, err
-	}
-	res, err := core.OnePlusEpsWeightedCtx(ctx, g, b, opts.eps(),
-		weighted.DefaultParams(opts.eps()), rng.New(opts.Seed))
+	rep, err := Solve(ctx, g, b, opts.request(AlgoMaxWeight))
 	if err != nil {
 		return nil, err
 	}
-	return res.M, nil
-}
-
-// FractionalResult carries a fractional b-matching solution together with
-// its duality certificates.
-type FractionalResult struct {
-	// X is a feasible, 0.05-tight solution of the b-matching LP
-	// (x_e ∈ [0,1], Σ_{e∈E(v)} x_e ≤ b_v).
-	X []float64
-	// Value is Σx_e; by Lemma 3.3, Value ≥ OPT/60 and OPT ≤ DualBound.
-	Value     float64
-	DualBound float64
-	// CoverVertices and CoverSlackEdges form the O(1)-approximate weighted
-	// vertex cover recovered from the dual (the paper's GJN20 connection):
-	// every edge has an endpoint in CoverVertices or appears in
-	// CoverSlackEdges.
-	CoverVertices   []int32
-	CoverSlackEdges []int32
-	// CompressionSteps and MPCRounds are the simulator measurements.
-	CompressionSteps int
-	MPCRounds        int
+	return rep.M, nil
 }
 
 // ApproxFractional solves the fractional b-matching LP with the
@@ -203,34 +184,23 @@ type FractionalResult struct {
 // solution with its dual certificates. This is the paper's core engine,
 // exposed for callers that want the LP value or the vertex-cover dual
 // rather than an integral matching.
+//
+// Deprecated: use Solve with AlgoFrac; the Report's Frac field is the same
+// FractionalResult.
 func ApproxFractional(g *Graph, b Budgets, opts Options) (*FractionalResult, error) {
 	return ApproxFractionalCtx(context.Background(), g, b, opts)
 }
 
 // ApproxFractionalCtx is ApproxFractional with cooperative cancellation
 // threaded through the FullMPC compression loop and the simulator.
+//
+// Deprecated: use Solve with AlgoFrac.
 func ApproxFractionalCtx(ctx context.Context, g *Graph, b Budgets, opts Options) (*FractionalResult, error) {
-	if err := opts.Validate(); err != nil {
-		return nil, err
-	}
-	if err := b.Validate(g); err != nil {
-		return nil, err
-	}
-	p := frac.BMatchingProblem(g, b)
-	full, err := p.FullMPCCtx(ctx, opts.mpcParams(), rng.New(opts.Seed))
+	rep, err := Solve(ctx, g, b, opts.request(AlgoFrac))
 	if err != nil {
 		return nil, err
 	}
-	covV, covE := p.VertexCover(full.X, 0.05)
-	return &FractionalResult{
-		X:                full.X,
-		Value:            frac.Value(full.X),
-		DualBound:        p.DualBound(full.X, 0.05),
-		CoverVertices:    covV,
-		CoverSlackEdges:  covE,
-		CompressionSteps: full.Iterations,
-		MPCRounds:        full.TotalSimRounds,
-	}, nil
+	return rep.Frac, nil
 }
 
 // Session is a long-lived solver session for callers that solve many
@@ -239,7 +209,8 @@ func ApproxFractionalCtx(ctx context.Context, g *Graph, b Budgets, opts Options)
 // decoded instances (keyed by graph content hash) and solve results, so
 // repeat solves skip adjacency building and — for identical requests — the
 // solve itself. cmd/bmatchd serves every request through sessions like
-// this one.
+// this one. Session.Solve is the unified entry point; the per-algorithm
+// methods below wrap it.
 //
 // A Session is not safe for concurrent use; create one per goroutine (they
 // may share nothing, or use the daemon for shared caching across clients).
@@ -250,22 +221,6 @@ type Session struct {
 // NewSession returns a session with a private instance/result cache.
 func NewSession() *Session {
 	return &Session{s: engine.NewSession(nil)}
-}
-
-func (s *Session) run(ctx context.Context, g *Graph, b Budgets, opts Options, algo engine.Algo) (*engine.Result, error) {
-	if err := opts.Validate(); err != nil {
-		return nil, err
-	}
-	inst, err := s.s.InstanceFromGraph(g, b)
-	if err != nil {
-		return nil, err
-	}
-	return s.s.Solve(ctx, inst, engine.Spec{
-		Algo:           algo,
-		Eps:            opts.Eps,
-		Seed:           opts.Seed,
-		PaperConstants: opts.PaperConstants,
-	})
 }
 
 func rebuildMatching(g *Graph, b Budgets, edges []int32) (*BMatching, error) {
@@ -284,6 +239,8 @@ func rebuildMatching(g *Graph, b Budgets, edges []int32) (*BMatching, error) {
 // Approx is the session-aware Approx: identical output, but repeat calls
 // with the same graph reuse the cached instance and repeat calls with the
 // same options reuse the cached result.
+//
+// Deprecated: use Session.Solve with AlgoApprox.
 func (s *Session) Approx(g *Graph, b Budgets, opts Options) (*BMatching, *ApproxStats, error) {
 	return s.ApproxCtx(context.Background(), g, b, opts)
 }
@@ -292,50 +249,50 @@ func (s *Session) Approx(g *Graph, b Budgets, opts Options) (*BMatching, *Approx
 // package-level variant, cached like Session.Approx. A cancelled solve
 // stores nothing, so the session's result cache only ever holds complete
 // solves.
+//
+// Deprecated: use Session.Solve with AlgoApprox.
 func (s *Session) ApproxCtx(ctx context.Context, g *Graph, b Budgets, opts Options) (*BMatching, *ApproxStats, error) {
-	res, err := s.run(ctx, g, b, opts, engine.AlgoApprox)
+	rep, err := s.Solve(ctx, g, b, opts.request(AlgoApprox))
 	if err != nil {
 		return nil, nil, err
 	}
-	m, err := rebuildMatching(g, b, res.Edges)
-	if err != nil {
-		return nil, nil, err
-	}
-	return m, &ApproxStats{
-		CompressionSteps: res.CompressionSteps,
-		MPCRounds:        res.MPCRounds,
-		MaxMachineEdges:  res.MaxMachineEdges,
-		FracValue:        res.FracValue,
-		DualBound:        res.DualBound,
-	}, nil
+	return rep.M, rep.Stats, nil
 }
 
 // Max is the session-aware Max (Theorem 4.1).
+//
+// Deprecated: use Session.Solve with AlgoMax.
 func (s *Session) Max(g *Graph, b Budgets, opts Options) (*BMatching, error) {
 	return s.MaxCtx(context.Background(), g, b, opts)
 }
 
 // MaxCtx is the session-aware, cancellable Max.
+//
+// Deprecated: use Session.Solve with AlgoMax.
 func (s *Session) MaxCtx(ctx context.Context, g *Graph, b Budgets, opts Options) (*BMatching, error) {
-	res, err := s.run(ctx, g, b, opts, engine.AlgoMax)
+	rep, err := s.Solve(ctx, g, b, opts.request(AlgoMax))
 	if err != nil {
 		return nil, err
 	}
-	return rebuildMatching(g, b, res.Edges)
+	return rep.M, nil
 }
 
 // MaxWeight is the session-aware MaxWeight (Theorem 5.1).
+//
+// Deprecated: use Session.Solve with AlgoMaxWeight.
 func (s *Session) MaxWeight(g *Graph, b Budgets, opts Options) (*BMatching, error) {
 	return s.MaxWeightCtx(context.Background(), g, b, opts)
 }
 
 // MaxWeightCtx is the session-aware, cancellable MaxWeight.
+//
+// Deprecated: use Session.Solve with AlgoMaxWeight.
 func (s *Session) MaxWeightCtx(ctx context.Context, g *Graph, b Budgets, opts Options) (*BMatching, error) {
-	res, err := s.run(ctx, g, b, opts, engine.AlgoMaxWeight)
+	rep, err := s.Solve(ctx, g, b, opts.request(AlgoMaxWeight))
 	if err != nil {
 		return nil, err
 	}
-	return rebuildMatching(g, b, res.Edges)
+	return rep.M, nil
 }
 
 // StreamResult reports a semi-streaming computation: the matched edge ids,
@@ -351,18 +308,37 @@ func NewSliceStream(g *Graph) EdgeStream { return stream.NewSliceStream(g) }
 // StreamMax computes a (1+ε)-approximate maximum-cardinality b-matching in
 // the semi-streaming model, using Õ(Σb_v) memory and O(1/ε) passes per
 // sweep (Theorem 4.1, streaming part).
+//
+// Deprecated: use SolveStream with AlgoMax.
 func StreamMax(s EdgeStream, n int, b Budgets, opts Options) (*StreamResult, error) {
-	if err := opts.Validate(); err != nil {
+	return StreamMaxCtx(context.Background(), s, n, b, opts)
+}
+
+// StreamMaxCtx is StreamMax with cooperative cancellation, checked at
+// every stream-pass boundary; a cancelled run returns ctx's error and no
+// partial result.
+func StreamMaxCtx(ctx context.Context, s EdgeStream, n int, b Budgets, opts Options) (*StreamResult, error) {
+	rep, err := SolveStream(ctx, s, n, b, opts.request(AlgoMax))
+	if err != nil {
 		return nil, err
 	}
-	return stream.OnePlusEps(s, n, b, stream.Params{Eps: opts.eps()}, rng.New(opts.Seed))
+	return rep.Stream, nil
 }
 
 // StreamMaxWeight is the weighted semi-streaming variant (Theorem 5.1,
 // streaming part).
+//
+// Deprecated: use SolveStream with AlgoMaxWeight.
 func StreamMaxWeight(s EdgeStream, n int, b Budgets, opts Options) (*StreamResult, error) {
-	if err := opts.Validate(); err != nil {
+	return StreamMaxWeightCtx(context.Background(), s, n, b, opts)
+}
+
+// StreamMaxWeightCtx is StreamMaxWeight with cooperative cancellation at
+// stream-pass boundaries (see StreamMaxCtx).
+func StreamMaxWeightCtx(ctx context.Context, s EdgeStream, n int, b Budgets, opts Options) (*StreamResult, error) {
+	rep, err := SolveStream(ctx, s, n, b, opts.request(AlgoMaxWeight))
+	if err != nil {
 		return nil, err
 	}
-	return stream.OnePlusEpsWeighted(s, n, b, stream.Params{Eps: opts.eps()}, rng.New(opts.Seed))
+	return rep.Stream, nil
 }

@@ -1,11 +1,14 @@
 // Command bmatch runs any of the library's algorithms on a generated or
-// user-supplied graph and prints the outcome with its certificates.
+// user-supplied graph and prints the outcome with its certificates. Every
+// solve goes through the unified bmatch.Solve / bmatch.SolveStream API —
+// the same dispatch the bmatchd daemon serves.
 //
 // Usage examples:
 //
 //	bmatch -algo approx  -gen gnm -n 2000 -m 40000 -b 3
 //	bmatch -algo max     -gen bipartite -n 400 -m 3000 -eps 0.25
-//	bmatch -algo maxw    -gen clientserver -n 2000 -seed 7
+//	bmatch -algo maxw    -gen clientserver -n 2000 -seed 7 -workers 4
+//	bmatch -algo frac    -gen gnm -n 1000 -m 20000
 //	bmatch -algo stream  -gen gnm -n 1000 -m 100000 -b 2
 //	bmatch -algo greedy  -input edges.txt -b 2
 //	bmatch -input edges.txt -convert edges.bmg
@@ -21,20 +24,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	bmatch "repro"
-	"repro/internal/baseline"
 	"repro/internal/graph"
 	"repro/internal/graphio"
 	"repro/internal/rng"
 )
 
 var (
-	algoFlag    = flag.String("algo", "approx", "approx | max | maxw | stream | streamw | greedy | greedyw")
+	algoFlag    = flag.String("algo", "approx", "approx | max | maxw | frac | stream | streamw | greedy")
 	genFlag     = flag.String("gen", "gnm", "gnm | bipartite | powerlaw | clientserver | star")
 	inputFlag   = flag.String("input", "", "read the graph from a file instead of generating")
 	nFlag       = flag.Int("n", 1000, "vertices (generators)")
@@ -42,6 +45,7 @@ var (
 	bFlag       = flag.Int("b", 2, "uniform budget (0 = random in [1,4])")
 	epsFlag     = flag.Float64("eps", 0.25, "approximation slack for (1+eps) algorithms")
 	seedFlag    = flag.Int64("seed", 1, "random seed")
+	workersFlag = flag.Int("workers", 0, "solver-internal parallelism (0 = serial; output is identical for every value)")
 	wFlag       = flag.Bool("weighted", false, "draw uniform weights in [1,10) (generators)")
 	paperFlag   = flag.Bool("paper", false, "use the paper's exact constants (see DESIGN.md)")
 	convertFlag = flag.String("convert", "", "write the instance to this file in BMG1 binary format and exit (no solve)")
@@ -49,10 +53,30 @@ var (
 
 func main() {
 	flag.Parse()
-	opts := bmatch.Options{Seed: *seedFlag, Eps: *epsFlag, PaperConstants: *paperFlag}
-	// Reject bad -eps before any work: the same Options validation guards
+	req := bmatch.Request{
+		Seed:           *seedFlag,
+		Eps:            *epsFlag,
+		Workers:        *workersFlag,
+		PaperConstants: *paperFlag,
+	}
+	switch *algoFlag {
+	case "stream":
+		req.Algo = bmatch.AlgoMax
+	case "streamw":
+		req.Algo = bmatch.AlgoMaxWeight
+	case "greedy", "greedyw":
+		// Both names select the unified greedy — the weight-sorted
+		// 2-approximate baseline the daemon serves as algo=greedy. (The
+		// pre-unified-API CLI ran an id-order scan under "greedy"; on
+		// weighted inputs the weight-sorted scan can return a different —
+		// typically heavier — matching for the same seed.)
+		req.Algo = bmatch.AlgoGreedy
+	default:
+		req.Algo = bmatch.Algo(*algoFlag)
+	}
+	// Reject bad flags before any work: the same Request validation guards
 	// the library entry points and the bmatchd request boundary.
-	if err := opts.Validate(); err != nil {
+	if err := req.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "bmatch:", err)
 		os.Exit(2)
 	}
@@ -73,41 +97,41 @@ func main() {
 		return
 	}
 
+	ctx := context.Background()
 	start := time.Now()
 	switch *algoFlag {
-	case "approx":
-		m, stats, err := bmatch.Approx(g, b, opts)
-		fail(err)
-		fmt.Printf("Θ(1)-approx: |M|=%d weight=%.1f\n", m.Size(), m.Weight())
-		fmt.Printf("certificate: OPT ≤ %.0f (ratio ≥ %.3f)\n", stats.DualBound, float64(m.Size())/stats.DualBound)
-		fmt.Printf("MPC: %d compression steps, %d rounds, max %d edges/machine\n",
-			stats.CompressionSteps, stats.MPCRounds, stats.MaxMachineEdges)
-	case "max":
-		m, err := bmatch.Max(g, b, opts)
-		fail(err)
-		fmt.Printf("(1+ε) unweighted: |M|=%d (ε=%.3f)\n", m.Size(), *epsFlag)
-	case "maxw":
-		m, err := bmatch.MaxWeight(g, b, opts)
-		fail(err)
-		fmt.Printf("(1+ε) weighted: |M|=%d weight=%.1f (ε=%.3f)\n", m.Size(), m.Weight(), *epsFlag)
 	case "stream":
-		res, err := bmatch.StreamMax(bmatch.NewSliceStream(g), g.N, b, opts)
+		rep, err := bmatch.SolveStream(ctx, bmatch.NewSliceStream(g), g.N, b, req)
 		fail(err)
 		fmt.Printf("streaming (1+ε): |M|=%d passes=%d peak=%d words (m=%d)\n",
-			res.Size, res.Passes, res.PeakWords, g.M())
+			rep.Size, rep.Stream.Passes, rep.Stream.PeakWords, g.M())
 	case "streamw":
-		res, err := bmatch.StreamMaxWeight(bmatch.NewSliceStream(g), g.N, b, opts)
+		rep, err := bmatch.SolveStream(ctx, bmatch.NewSliceStream(g), g.N, b, req)
 		fail(err)
 		fmt.Printf("streaming weighted: |M|=%d weight=%.1f passes=%d peak=%d words\n",
-			res.Size, res.Weight, res.Passes, res.PeakWords)
-	case "greedy":
-		m := baseline.Greedy(g, b)
-		fmt.Printf("greedy (2-approx): |M|=%d weight=%.1f\n", m.Size(), m.Weight())
-	case "greedyw":
-		m := baseline.GreedyWeighted(g, b)
-		fmt.Printf("weighted greedy (2-approx): |M|=%d weight=%.1f\n", m.Size(), m.Weight())
+			rep.Size, rep.Weight, rep.Stream.Passes, rep.Stream.PeakWords)
 	default:
-		fail(fmt.Errorf("unknown -algo %q", *algoFlag))
+		rep, err := bmatch.Solve(ctx, g, b, req)
+		fail(err)
+		switch rep.Algo {
+		case bmatch.AlgoApprox:
+			fmt.Printf("Θ(1)-approx: |M|=%d weight=%.1f\n", rep.Size, rep.Weight)
+			fmt.Printf("certificate: OPT ≤ %.0f (ratio ≥ %.3f)\n",
+				rep.Stats.DualBound, float64(rep.Size)/rep.Stats.DualBound)
+			fmt.Printf("MPC: %d compression steps, %d rounds, max %d edges/machine\n",
+				rep.Stats.CompressionSteps, rep.Stats.MPCRounds, rep.Stats.MaxMachineEdges)
+		case bmatch.AlgoMax:
+			fmt.Printf("(1+ε) unweighted: |M|=%d (ε=%.3f)\n", rep.Size, *epsFlag)
+		case bmatch.AlgoMaxWeight:
+			fmt.Printf("(1+ε) weighted: |M|=%d weight=%.1f (ε=%.3f)\n", rep.Size, rep.Weight, *epsFlag)
+		case bmatch.AlgoFrac:
+			fmt.Printf("fractional LP: value=%.2f, OPT ≤ %.0f, cover |V|=%d |E_slack|=%d\n",
+				rep.Frac.Value, rep.Frac.DualBound, len(rep.Frac.CoverVertices), len(rep.Frac.CoverSlackEdges))
+			fmt.Printf("MPC: %d compression steps, %d rounds\n",
+				rep.Frac.CompressionSteps, rep.Frac.MPCRounds)
+		case bmatch.AlgoGreedy:
+			fmt.Printf("greedy (2-approx): |M|=%d weight=%.1f\n", rep.Size, rep.Weight)
+		}
 	}
 	fmt.Printf("elapsed: %v\n", time.Since(start).Round(time.Millisecond))
 }

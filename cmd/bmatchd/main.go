@@ -7,8 +7,12 @@
 //
 // Endpoints:
 //
-//	POST /v1/solve?algo=approx|max|maxw|greedy&eps=&seed=&paper=&nocache=&timeout_ms=
+//	POST /v1/solve?algo=approx|max|maxw|greedy|frac&eps=&seed=&paper=&nocache=&workers=&timeout_ms=
 //	     body: instance in graphio text or binary format (auto-detected)
+//	POST   /v2/jobs?algo=...   async submit → 202 + job id (same params as /v1/solve, minus timeout_ms)
+//	GET    /v2/jobs/{id}       status with live round/superstep progress
+//	GET    /v2/jobs/{id}/result
+//	DELETE /v2/jobs/{id}       cancel
 //	GET  /v1/healthz
 //	GET  /v1/stats
 //
@@ -17,6 +21,11 @@
 //	bmatchd -addr :8377 &
 //	printf 'n 4\ne 0 1 2\ne 1 2 3\ne 2 3 1\n' |
 //	    curl -sS --data-binary @- 'localhost:8377/v1/solve?algo=maxw&seed=1'
+//
+// Long solves fit the async path: POST the same instance to /v2/jobs,
+// poll the status URL, fetch the result when state is "done". /v1/solve
+// itself is a submit+wait over the same job lifecycle, so both paths
+// return bit-identical results for the same (instance, parameters).
 //
 // On SIGINT or SIGTERM the daemon shuts down gracefully: it stops
 // accepting connections, cancels the contexts of all in-flight solves (the
@@ -58,6 +67,9 @@ var (
 	readTOFlag    = flag.Duration("read-timeout", 2*time.Minute, "max time to read a request body (bounds how long a slow client can hold a decode slot)")
 	writeTOFlag   = flag.Duration("write-timeout", 5*time.Minute, "max time to serve one request, including the solve")
 	drainTOFlag   = flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight requests on shutdown")
+	maxJobsFlag   = flag.Int("max-jobs", 0, "max resident async jobs, queued + running + retained (0 = default of 1024)")
+	jobTTLFlag    = flag.Duration("job-ttl", 0, "how long finished async job results stay retrievable (0 = default of 15m)")
+	maxWorkersF   = flag.Int("max-solve-workers", 0, "max per-request workers= parallelism a client may request (0 = default of 64)")
 )
 
 func main() {
@@ -89,6 +101,9 @@ func main() {
 	api := httpapi.NewServer(pool, httpapi.Config{
 		MaxBodyBytes: *maxBodyFlag,
 		MaxTimeout:   maxTimeout,
+		MaxWorkers:   *maxWorkersF,
+		MaxJobs:      *maxJobsFlag,
+		JobTTL:       *jobTTLFlag,
 	})
 
 	// Every request context descends from solveCtx, so cancelling it on

@@ -4,7 +4,7 @@
 // number of requests, and often a varying number"). A maximum weight
 // b-matching is then a revenue-maximizing admission plan.
 //
-// This example exercises both seams of the serving stack:
+// This example exercises every seam of the serving stack:
 //
 //   - the HTTP path: it starts the bmatchd surface in-process
 //     (internal/httpapi wrapping an internal/engine pool), ships the
@@ -12,9 +12,12 @@
 //     compares the daemon's greedy dispatcher against the paper's (1+ε)
 //     algorithm — including a re-post that hits the instance and result
 //     caches;
-//   - the transport-free path: the same solve through an engine.Session
-//     directly, no HTTP anywhere, producing a bit-identical plan — this is
-//     the embedding API for library consumers that must not link a server.
+//   - the async v2 jobs path: the same solve submitted to POST /v2/jobs,
+//     polled for round/superstep progress, fetched when done — the plan is
+//     bit-identical to the synchronous /v1/solve reply;
+//   - the transport-free path: the same solve through the unified
+//     bmatch.Session.Solve facade, no HTTP anywhere, again bit-identical —
+//     this is the embedding API for consumers that must not link a server.
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"net/http"
 	"time"
 
+	bmatch "repro"
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/graphio"
@@ -105,29 +109,66 @@ func main() {
 	fmt.Printf("same request again:  %5d requests admitted, cached=%t in %v\n",
 		again.Size, again.Cached, time.Since(start).Round(time.Microsecond))
 
-	// The transport-free path: the same solve through an engine session
-	// directly — no HTTP server, no sockets, no net/http in the consumer's
-	// dependency graph. Embedders get the identical deterministic plan.
-	sess := engine.NewSession(nil)
-	inst, err := sess.InstanceFromGraph(g, b)
+	// The async path: submit the same solve as a v2 job (nocache forces a
+	// real run), poll its checkpoint progress, fetch the result when done.
+	var job struct {
+		ID        string `json:"id"`
+		State     string `json:"state"`
+		ResultURL string `json:"resultUrl"`
+	}
+	resp, err := http.Post(base+"/v2/jobs?algo=maxw&seed=1&eps=0.25&nocache=true",
+		"application/octet-stream", bytes.NewReader(payload))
 	if err != nil {
 		log.Fatal(err)
 	}
-	start = time.Now()
-	direct, err := sess.Solve(context.Background(),
-		inst, engine.Spec{Algo: engine.AlgoMaxWeight, Seed: 1, Eps: 0.25})
-	if err != nil {
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
 		log.Fatal(err)
 	}
-	if len(direct.Edges) != len(m.Edges) {
-		log.Fatalf("engine-only plan differs from HTTP plan: %d vs %d edges", len(direct.Edges), len(m.Edges))
-	}
-	for i := range direct.Edges {
-		if direct.Edges[i] != m.Edges[i] {
-			log.Fatalf("engine-only plan differs from HTTP plan at edge %d", i)
+	resp.Body.Close()
+	polls, lastCheckpoints := 0, int64(0)
+	for job.State != "done" && job.State != "failed" && job.State != "canceled" {
+		time.Sleep(10 * time.Millisecond)
+		sresp, err := http.Get(base + "/v2/jobs/" + job.ID)
+		if err != nil {
+			log.Fatal(err)
 		}
+		var st struct {
+			State       string `json:"state"`
+			Checkpoints int64  `json:"checkpoints"`
+		}
+		if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+			log.Fatal(err)
+		}
+		sresp.Body.Close()
+		job.State, lastCheckpoints = st.State, st.Checkpoints
+		polls++
 	}
-	fmt.Printf("in-process engine:   %5d requests admitted, bit-identical to the HTTP plan, in %v (no transport)\n",
+	rresp, err := http.Get(base + job.ResultURL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var async solveResponse
+	if err := json.NewDecoder(rresp.Body).Decode(&async); err != nil {
+		log.Fatal(err)
+	}
+	rresp.Body.Close()
+	mustMatch("async v2 plan", async.Edges, m.Edges)
+	fmt.Printf("async v2 job:        %5d requests admitted after %d polls (%d solver checkpoints), bit-identical\n",
+		async.Size, polls, lastCheckpoints)
+
+	// The transport-free path: the same solve through the unified facade
+	// Session — no HTTP server, no sockets, no net/http in the consumer's
+	// dependency graph. Embedders get the identical deterministic plan
+	// from the identical Request contract the daemon parses off the wire.
+	sess := bmatch.NewSession()
+	start = time.Now()
+	direct, err := sess.Solve(context.Background(), g, b,
+		bmatch.Request{Algo: bmatch.AlgoMaxWeight, Seed: 1, Eps: 0.25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mustMatch("facade plan", direct.M.Edges(), m.Edges)
+	fmt.Printf("in-process facade:   %5d requests admitted, bit-identical to the HTTP plan, in %v (no transport)\n",
 		direct.Size, time.Since(start).Round(time.Millisecond))
 
 	// Server utilization under the optimized plan, validated client-side.
@@ -156,4 +197,15 @@ func sum(b []int) int {
 		t += x
 	}
 	return t
+}
+
+func mustMatch(label string, got, want []int32) {
+	if len(got) != len(want) {
+		log.Fatalf("%s differs from HTTP plan: %d vs %d edges", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			log.Fatalf("%s differs from HTTP plan at edge %d", label, i)
+		}
+	}
 }

@@ -1,9 +1,11 @@
 // Quickstart: compute b-matchings on a small random graph with the three
-// headline algorithms and print what the paper's theorems promise about
-// each result.
+// headline algorithms — all through the unified Solve API (one Request
+// type, one call, every algorithm) — and print what the paper's theorems
+// promise about each result.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,36 +22,44 @@ func main() {
 	b := graph.RandomBudgets(1000, 1, 5, r.Split())
 	fmt.Printf("graph: n=%d m=%d avg-degree=%.1f, budgets Σb=%d\n",
 		g.N, g.M(), g.AvgDeg(), b.Sum())
+	ctx := context.Background()
 
-	// Θ(1)-approximation in O(log log d̄) MPC rounds (Theorem 3.1).
-	m, stats, err := bmatch.Approx(g, b, bmatch.Options{Seed: 1})
+	// Θ(1)-approximation in O(log log d̄) MPC rounds (Theorem 3.1). The
+	// Report carries the matching and the run's certificate + MPC stats.
+	rep, err := bmatch.Solve(ctx, g, b, bmatch.Request{Algo: bmatch.AlgoApprox, Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nTheorem 3.1 (Θ(1)-approx MPC):\n")
 	fmt.Printf("  |M| = %d, certified OPT ≤ %.0f (ratio ≥ %.2f)\n",
-		m.Size(), stats.DualBound, float64(m.Size())/stats.DualBound)
+		rep.Size, rep.Stats.DualBound, float64(rep.Size)/rep.Stats.DualBound)
 	fmt.Printf("  compression steps = %d (≈ log log d̄ = %.1f), MPC rounds = %d\n",
-		stats.CompressionSteps, logLog(g.AvgDeg()), stats.MPCRounds)
+		rep.Stats.CompressionSteps, logLog(g.AvgDeg()), rep.Stats.MPCRounds)
 	fmt.Printf("  max edges on one machine = %d (Õ(n) bound, n = %d)\n",
-		stats.MaxMachineEdges, g.N)
+		rep.Stats.MaxMachineEdges, g.N)
 
-	// (1+ε)-approximation (Theorem 4.1).
-	m2, err := bmatch.Max(g, b, bmatch.Options{Seed: 1, Eps: 0.25})
+	// (1+ε)-approximation (Theorem 4.1), with a live progress sample:
+	// Request.Progress fires at solver round/superstep checkpoints.
+	var checkpoints int64
+	rep2, err := bmatch.Solve(ctx, g, b, bmatch.Request{
+		Algo: bmatch.AlgoMax, Seed: 1, Eps: 0.25,
+		Progress: func(p bmatch.Progress) { checkpoints = p.Checkpoints },
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nTheorem 4.1 ((1+ε)-approx, ε=0.25):\n  |M| = %d\n", m2.Size())
+	fmt.Printf("\nTheorem 4.1 ((1+ε)-approx, ε=0.25):\n  |M| = %d (%d solver checkpoints observed)\n",
+		rep2.Size, checkpoints)
 
-	// Semi-streaming (Section 4.6).
-	sres, err := bmatch.StreamMax(bmatch.NewSliceStream(g), g.N, b,
-		bmatch.Options{Seed: 1, Eps: 0.5})
+	// Semi-streaming (Section 4.6) through the same Request contract.
+	srep, err := bmatch.SolveStream(ctx, bmatch.NewSliceStream(g), g.N, b,
+		bmatch.Request{Algo: bmatch.AlgoMax, Seed: 1, Eps: 0.5})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nSemi-streaming (ε=0.5):\n")
 	fmt.Printf("  |M| = %d using %d passes and %d words (m = %d edges)\n",
-		sres.Size, sres.Passes, sres.PeakWords, g.M())
+		srep.Size, srep.Stream.Passes, srep.Stream.PeakWords, g.M())
 }
 
 func logLog(d float64) float64 {

@@ -1,9 +1,11 @@
 // Package engine is the transport-free serving engine over the solver
-// library: long-lived sessions that reuse decode/encode buffers across
-// solves, a content-hash instance cache plus a sharded result cache, and a
+// library: the unified Spec/Result solve contract and its direct Solve
+// dispatch, long-lived sessions that reuse decode/encode buffers across
+// solves, a content-hash instance cache plus a sharded result cache, a
 // bounded worker pool with opportunistic request batching and cooperative
-// cancellation. The bmatch facade's Session and cmd/bmatchd are both built
-// on it.
+// cancellation, and an async job registry (Jobs) with checkpoint-sampled
+// progress and TTL-retained results. The bmatch facade's Solve/Session and
+// cmd/bmatchd are both built on it.
 //
 // Layering rule: engine must stay transport-free — it must never import
 // net/http (enforced by TestTransportFree and by CI's import-hygiene
@@ -58,17 +60,25 @@ const (
 	AlgoMax       Algo = "max"    // (1+ε)-approximate unweighted
 	AlgoMaxWeight Algo = "maxw"   // (1+ε)-approximate weighted
 	AlgoGreedy    Algo = "greedy" // weight-sorted greedy baseline (2-approximate)
+	AlgoFrac      Algo = "frac"   // fractional LP solution with dual certificates
 )
 
-// Spec is one solve request against an instance. Spec is comparable; the
-// pool relies on that to coalesce identical queued requests.
+// Spec is the single solve contract every entry point speaks: the bmatch
+// facade's Request maps onto it 1:1, Session.Solve and the job registry
+// consume it directly, and httpapi parses it off the wire. Spec is
+// comparable; the pool relies on that to coalesce identical queued
+// requests (which is also why the facade's Progress callback travels via
+// WithProgress on the context, not in the Spec).
 type Spec struct {
 	Algo           Algo
 	Eps            float64 // 0 keeps the library default of 0.25
 	Seed           int64
 	PaperConstants bool
-	// Workers bounds the solver's internal parallelism; pool workers set
-	// this to 1 so concurrency comes from request-level parallelism.
+	// Workers bounds the solver's internal parallelism. 0 keeps the
+	// caller's default (the pool substitutes its configured SolverWorkers,
+	// normally 1, so concurrency comes from request-level parallelism).
+	// Results are bit-identical across worker counts, so Workers is not
+	// part of the result-cache key.
 	Workers int
 	// NoCache makes the solve bypass the result cache entirely — neither
 	// served from it nor stored into it (Cache-Control: no-store
@@ -107,9 +117,9 @@ func EpsOrDefault(eps float64) float64 {
 // Validate checks the algorithm name and the ε contract.
 func (sp Spec) Validate() error {
 	switch sp.Algo {
-	case AlgoApprox, AlgoMax, AlgoMaxWeight, AlgoGreedy:
+	case AlgoApprox, AlgoMax, AlgoMaxWeight, AlgoGreedy, AlgoFrac:
 	default:
-		return fmt.Errorf("engine: unknown algo %q (want approx|max|maxw|greedy)", sp.Algo)
+		return fmt.Errorf("engine: unknown algo %q (want approx|max|maxw|greedy|frac)", sp.Algo)
 	}
 	if err := ValidateEps(sp.Eps); err != nil {
 		return fmt.Errorf("engine: %w", err)
@@ -136,15 +146,63 @@ type Result struct {
 	Edges    []int32 // matched edge ids, increasing
 	Feasible bool
 
-	// Certificate and MPC observables (AlgoApprox only).
+	// Certificate and MPC observables (AlgoApprox and AlgoFrac).
 	DualBound        float64
 	FracValue        float64
 	CompressionSteps int
 	MPCRounds        int
 	MaxMachineEdges  int
 
+	// Fractional solution and its recovered vertex-cover dual (AlgoFrac
+	// only). Like Edges, these are shared via the cache and must not be
+	// modified.
+	X               []float64
+	CoverVertices   []int32
+	CoverSlackEdges []int32
+
 	FromCache bool
 	Elapsed   time.Duration
+}
+
+// FracSolution is a fractional b-matching LP solution with its duality
+// certificates, the output of AlgoFrac. The bmatch facade aliases its
+// FractionalResult to this type, so the engine, the facade, and the HTTP
+// surface all share one fractional contract.
+type FracSolution struct {
+	// X is a feasible, 0.05-tight solution of the b-matching LP
+	// (x_e ∈ [0,1], Σ_{e∈E(v)} x_e ≤ b_v).
+	X []float64
+	// Value is Σx_e; by Lemma 3.3, Value ≥ OPT/60 and OPT ≤ DualBound.
+	Value     float64
+	DualBound float64
+	// CoverVertices and CoverSlackEdges form the O(1)-approximate weighted
+	// vertex cover recovered from the dual (the paper's GJN20 connection):
+	// every edge has an endpoint in CoverVertices or appears in
+	// CoverSlackEdges.
+	CoverVertices   []int32
+	CoverSlackEdges []int32
+	// CompressionSteps and MPCRounds are the simulator measurements.
+	CompressionSteps int
+	MPCRounds        int
+}
+
+// Solved is the output of one direct Solve call: the matching (or
+// fractional solution) itself plus the certificate and MPC observables.
+// Session converts it to the cacheable wire-level Result; the bmatch
+// facade converts it to a Report.
+type Solved struct {
+	// M is the integral matching (nil for AlgoFrac).
+	M *matching.BMatching
+	// Frac is the fractional solution (AlgoFrac only).
+	Frac *FracSolution
+
+	// Certificate and MPC observables (AlgoApprox only; AlgoFrac carries
+	// its own inside Frac).
+	DualBound        float64
+	FracValue        float64
+	CompressionSteps int
+	MPCRounds        int
+	MaxMachineEdges  int
 }
 
 // SessionStats counts what a session did.
@@ -337,12 +395,12 @@ func (s *Session) Solve(ctx context.Context, inst *Instance, spec Spec) (*Result
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	res, err := s.solve(ctx, inst, spec)
+	sol, err := Solve(ctx, inst.G, inst.B, spec)
 	if err != nil {
 		return nil, err
 	}
 	s.stats.Solves++
-	res.Algo = spec.Algo
+	res := resultFromSolved(spec, sol)
 	res.Instance = inst.Key
 	res.N, res.M = inst.G.N, inst.G.M()
 	res.Elapsed = time.Since(start)
@@ -352,62 +410,121 @@ func (s *Session) Solve(ctx context.Context, inst *Instance, spec Spec) (*Result
 	return res, nil
 }
 
-func (s *Session) solve(ctx context.Context, inst *Instance, spec Spec) (*Result, error) {
-	g, b := inst.G, inst.B
+// resultFromSolved flattens a direct solve into the cacheable, shareable
+// wire-level Result.
+func resultFromSolved(spec Spec, sol *Solved) *Result {
+	res := &Result{
+		Algo:             spec.Algo,
+		DualBound:        sol.DualBound,
+		FracValue:        sol.FracValue,
+		CompressionSteps: sol.CompressionSteps,
+		MPCRounds:        sol.MPCRounds,
+		MaxMachineEdges:  sol.MaxMachineEdges,
+		Feasible:         true,
+	}
+	if sol.Frac != nil {
+		res.X = sol.Frac.X
+		res.FracValue = sol.Frac.Value
+		res.DualBound = sol.Frac.DualBound
+		res.CoverVertices = sol.Frac.CoverVertices
+		res.CoverSlackEdges = sol.Frac.CoverSlackEdges
+		res.CompressionSteps = sol.Frac.CompressionSteps
+		res.MPCRounds = sol.Frac.MPCRounds
+	}
+	if sol.M != nil {
+		res.Size = sol.M.Size()
+		res.Weight = sol.M.Weight()
+		res.Edges = sol.M.Edges()
+	}
+	return res
+}
+
+// Solve runs spec directly against (g, b): no session, no cache, no pool.
+// It is the single solver dispatch every path shares — Session.Solve (and
+// therefore the pool, the job registry, and httpapi) and the bmatch
+// facade's one-shot entry points all funnel through it, which is what
+// makes the unified API's "same request, same bits, any transport"
+// guarantee hold by construction. ctx follows the package cancellation
+// contract; wrap it with WithProgress to observe checkpoints.
+func Solve(ctx context.Context, g *graph.Graph, b graph.Budgets, spec Spec) (*Solved, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := b.Validate(g); err != nil {
+		return nil, err
+	}
 	params := frac.PracticalParams()
 	if spec.PaperConstants {
 		params = frac.PaperParams()
 	}
 	params.Workers = spec.Workers
 
-	var m *matching.BMatching
-	res := &Result{}
+	sol := &Solved{}
 	switch spec.Algo {
 	case AlgoApprox:
 		out, err := core.ConstApproxCtx(ctx, g, b, params, rng.New(spec.Seed))
 		if err != nil {
 			return nil, err
 		}
-		m = out.M
-		res.DualBound = out.DualBound
-		res.FracValue = out.FracValue
-		res.CompressionSteps = out.Frac.Iterations
-		res.MPCRounds = out.Frac.TotalSimRounds
-		res.MaxMachineEdges = out.Frac.MaxMachineEdges
+		sol.M = out.M
+		sol.DualBound = out.DualBound
+		sol.FracValue = out.FracValue
+		sol.CompressionSteps = out.Frac.Iterations
+		sol.MPCRounds = out.Frac.TotalSimRounds
+		sol.MaxMachineEdges = out.Frac.MaxMachineEdges
 	case AlgoMax:
 		ap := augmentDefaults(spec.eps(), spec.Workers)
 		out, err := core.OnePlusEpsUnweightedCtx(ctx, g, b, spec.eps(), params, ap, rng.New(spec.Seed))
 		if err != nil {
 			return nil, err
 		}
-		m = out.M
+		sol.M = out.M
 	case AlgoMaxWeight:
 		wp := weightedDefaults(spec.eps(), spec.Workers)
 		out, err := core.OnePlusEpsWeightedCtx(ctx, g, b, spec.eps(), wp, rng.New(spec.Seed))
 		if err != nil {
 			return nil, err
 		}
-		m = out.M
+		sol.M = out.M
 	case AlgoGreedy:
-		var err error
-		m, err = baseline.GreedyWeightedCtx(ctx, g, b)
+		m, err := baseline.GreedyWeightedCtx(ctx, g, b)
 		if err != nil {
 			return nil, err
 		}
+		sol.M = m
+	case AlgoFrac:
+		p := frac.BMatchingProblem(g, b)
+		full, err := p.FullMPCCtx(ctx, params, rng.New(spec.Seed))
+		if err != nil {
+			return nil, err
+		}
+		// Same guard as the integral algos' Validate below: an infeasible
+		// LP solution is an internal bug that must fail the request, not
+		// be served (and cached, and replayed) as a 200.
+		if err := p.CheckFeasible(full.X); err != nil {
+			return nil, fmt.Errorf("engine: internal: frac solver produced an infeasible solution: %w", err)
+		}
+		covV, covE := p.VertexCover(full.X, 0.05)
+		sol.Frac = &FracSolution{
+			X:                full.X,
+			Value:            frac.Value(full.X),
+			DualBound:        p.DualBound(full.X, 0.05),
+			CoverVertices:    covV,
+			CoverSlackEdges:  covE,
+			CompressionSteps: full.Iterations,
+			MPCRounds:        full.TotalSimRounds,
+		}
+		return sol, nil
 	default:
 		return nil, fmt.Errorf("engine: unknown algo %q", spec.Algo)
 	}
 	// A solver emitting an infeasible matching is an internal bug; failing
 	// the request keeps it out of the shared result cache and lets HTTP
 	// report 500 instead of serving (and replaying) a bad plan with 200.
-	if err := m.Validate(); err != nil {
+	if err := sol.M.Validate(); err != nil {
 		return nil, fmt.Errorf("engine: internal: %s solver produced an infeasible matching: %w", spec.Algo, err)
 	}
-	res.Size = m.Size()
-	res.Weight = m.Weight()
-	res.Edges = m.Edges()
-	res.Feasible = true
-	return res, nil
+	return sol, nil
 }
 
 func augmentDefaults(eps float64, workers int) augment.Params {

@@ -16,7 +16,11 @@ func TestTransportFree(t *testing.T) {
 	if err != nil {
 		t.Skip("go tool not available")
 	}
-	for _, pkg := range []string{"repro", "repro/internal/engine"} {
+	// repro/internal/engine covers the whole engine cone — sessions, the
+	// pool, the progress plumbing, and the async job registry live in one
+	// package; repro/internal/stream keeps the streaming drivers (now ctx-
+	// aware) transport-free too.
+	for _, pkg := range []string{"repro", "repro/internal/engine", "repro/internal/stream"} {
 		out, err := exec.Command(goBin, "list", "-deps", pkg).Output()
 		if err != nil {
 			t.Fatalf("go list -deps %s: %v", pkg, err)

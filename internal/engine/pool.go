@@ -38,9 +38,12 @@ type PoolConfig struct {
 	// computes, the rest are result-cache hits, so a thundering herd of
 	// identical requests occupies one worker instead of the whole pool.
 	BatchMax int
-	// SolverWorkers is each solve's internal parallelism (default 1:
-	// with many concurrent requests, parallelism should come from the
-	// request level, not nested worker pools).
+	// SolverWorkers is the internal parallelism given to solves whose Spec
+	// leaves Workers at 0 (default 1: with many concurrent requests,
+	// parallelism should come from the request level, not nested worker
+	// pools). A Spec with Workers > 0 keeps its own value — that is how
+	// the HTTP workers= param and bmatch.Request.Workers reach the
+	// drivers.
 	SolverWorkers int
 	// DecodeSlots bounds concurrent request decodes (default 2 × Workers).
 	DecodeSlots int
@@ -140,6 +143,12 @@ type Pool struct {
 
 	mu     sync.Mutex
 	closed bool
+	// closing is closed by Close before the queue channel is, so blocked
+	// SubmitWait senders wake up and bail out instead of sending on a
+	// closed channel; sendWG lets Close wait for them to get out of the
+	// way first.
+	closing chan struct{}
+	sendWG  sync.WaitGroup
 
 	submitted      atomic.Int64
 	rejected       atomic.Int64
@@ -164,6 +173,7 @@ func NewPool(cfg PoolConfig) *Pool {
 		cache:     NewCache(cfg.Cache),
 		queue:     make(chan *job, cfg.QueueDepth),
 		decodeSem: make(chan struct{}, cfg.DecodeSlots),
+		closing:   make(chan struct{}),
 	}
 	p.decodeSessions.New = func() any {
 		s := NewSession(p.cache)
@@ -212,20 +222,52 @@ func (p *Pool) DecodeFrom(ctx context.Context, r io.Reader, limit int64) (*Insta
 // worker) or while solving (the solver aborts at its next round boundary
 // and the worker moves on).
 func (p *Pool) Submit(ctx context.Context, inst *Instance, spec Spec) (*Result, error) {
-	spec.Workers = p.cfg.SolverWorkers
+	return p.submit(ctx, inst, spec, false)
+}
+
+// SubmitWait is Submit without the fast-fail: when the queue is full it
+// blocks until a slot frees, ctx is cancelled, or the pool closes. The job
+// registry admits async jobs with it — an accepted job must ride out a
+// transient queue burst, not bounce; admission control for jobs is the
+// registry's MaxJobs bound, not the queue depth.
+func (p *Pool) SubmitWait(ctx context.Context, inst *Instance, spec Spec) (*Result, error) {
+	return p.submit(ctx, inst, spec, true)
+}
+
+func (p *Pool) submit(ctx context.Context, inst *Instance, spec Spec, wait bool) (*Result, error) {
+	if spec.Workers <= 0 {
+		// The configured default, not an override: explicit Spec.Workers
+		// (the HTTP workers= param, bmatch.Request.Workers) wins.
+		spec.Workers = p.cfg.SolverWorkers
+	}
 	j := &job{ctx: ctx, inst: inst, spec: spec, done: make(chan jobDone, 1)}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		return nil, ErrClosed
 	}
-	select {
-	case p.queue <- j:
+	if wait {
+		p.sendWG.Add(1) // registered under mu, so Close waits for this send
 		p.mu.Unlock()
-	default:
-		p.mu.Unlock()
-		p.rejected.Add(1)
-		return nil, ErrQueueFull
+		select {
+		case p.queue <- j:
+			p.sendWG.Done()
+		case <-ctx.Done():
+			p.sendWG.Done()
+			return nil, ctx.Err()
+		case <-p.closing:
+			p.sendWG.Done()
+			return nil, ErrClosed
+		}
+	} else {
+		select {
+		case p.queue <- j:
+			p.mu.Unlock()
+		default:
+			p.mu.Unlock()
+			p.rejected.Add(1)
+			return nil, ErrQueueFull
+		}
 	}
 	p.submitted.Add(1)
 	select {
@@ -248,8 +290,12 @@ func (p *Pool) Close() {
 		return
 	}
 	p.closed = true
-	close(p.queue)
+	close(p.closing)
 	p.mu.Unlock()
+	// Blocked SubmitWait senders have either enqueued or are now waking up
+	// on closing; once they are all out, no send can race the close below.
+	p.sendWG.Wait()
+	close(p.queue)
 	p.wg.Wait()
 }
 

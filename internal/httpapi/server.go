@@ -28,6 +28,17 @@ type Config struct {
 	// MaxTimeout caps the per-request deadline clients may set via
 	// timeout_ms (default 10 minutes). Longer requests are clamped.
 	MaxTimeout time.Duration
+	// MaxWorkers caps the per-request workers= parameter (default 64):
+	// solver parallelism is a shared-machine resource, so a single client
+	// cannot demand an unbounded goroutine fan-out.
+	MaxWorkers int
+	// MaxJobs bounds resident v2 jobs — queued, running, and finished
+	// ones inside their retention TTL (default 1024; see
+	// engine.JobsConfig).
+	MaxJobs int
+	// JobTTL is how long a finished v2 job's status and result stay
+	// retrievable (default 15 minutes).
+	JobTTL time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -37,38 +48,54 @@ func (c Config) withDefaults() Config {
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 10 * time.Minute
 	}
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = 64
+	}
 	return c
 }
 
 // Server is the bmatchd HTTP surface:
 //
-//	POST /v1/solve?algo=approx|max|maxw|greedy&eps=&seed=&paper=&nocache=&timeout_ms=
+//	POST /v1/solve?algo=approx|max|maxw|greedy|frac&eps=&seed=&paper=&nocache=&workers=&timeout_ms=
 //	     body: instance in graphio text or binary format (sniffed)
-//	     response: JSON result; the matched-edge array is streamed
+//	     response: JSON result; the matched-edge (or x) array is streamed
+//	POST   /v2/jobs?algo=...          async submit → 202 + job status
+//	GET    /v2/jobs/{id}              status + checkpoint progress
+//	GET    /v2/jobs/{id}/result       streamed result once done
+//	DELETE /v2/jobs/{id}              cancel (and release) the job
 //	GET  /v1/healthz
 //	GET  /v1/stats
 //
-// It owns no solver state of its own: all sessions, caches, and admission
-// control live in the engine.Pool it wraps.
+// It owns no solver state of its own: sessions, caches, and admission
+// control live in the engine.Pool it wraps, and the async lifecycle in the
+// engine.Jobs registry — /v1/solve is a submit+wait over the same
+// registry, so the sync and async paths return bit-identical results.
 type Server struct {
 	cfg      Config
 	pool     *engine.Pool
+	jobs     *engine.Jobs
 	mux      *http.ServeMux
 	started  time.Time
 	draining atomic.Bool
 }
 
-// NewServer wraps pool with the HTTP surface.
+// NewServer wraps pool with the HTTP surface and starts the job registry.
 func NewServer(pool *engine.Pool, cfg Config) *Server {
+	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg.withDefaults(),
+		cfg:     cfg,
 		pool:    pool,
+		jobs:    engine.NewJobs(pool, engine.JobsConfig{MaxJobs: cfg.MaxJobs, TTL: cfg.JobTTL}),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 	}
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v2/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v2/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v2/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("DELETE /v2/jobs/{id}", s.handleJobDelete)
 	return s
 }
 
@@ -78,14 +105,21 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Pool returns the wrapped worker pool (for stats and tests).
 func (s *Server) Pool() *engine.Pool { return s.pool }
 
+// Jobs returns the async job registry (for stats and tests).
+func (s *Server) Jobs() *engine.Jobs { return s.jobs }
+
 // SetDraining marks the server as shutting down: in-flight requests whose
 // contexts the owner is about to cancel will answer 503 + Retry-After
 // (retry against another replica) instead of 408 (client's fault). Call it
 // just before cancelling the solve contexts.
 func (s *Server) SetDraining() { s.draining.Store(true) }
 
-// Close stops the worker pool; queued requests still complete.
-func (s *Server) Close() { s.pool.Close() }
+// Close shuts down the job registry (cancelling in-flight jobs) and then
+// the worker pool.
+func (s *Server) Close() {
+	s.jobs.Close()
+	s.pool.Close()
+}
 
 type errorBody struct {
 	Error string `json:"error"`
@@ -119,7 +153,7 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	spec, timeout, err := specFromQuery(r)
+	spec, timeout, err := s.specFromQuery(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -158,9 +192,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.pool.Submit(ctx, inst, spec)
+	// Submit+wait over the job registry: the same lifecycle as a v2 job,
+	// so the sync path cannot drift from the async one.
+	res, err := s.jobs.Do(ctx, inst, spec)
 	switch {
-	case errors.Is(err, engine.ErrQueueFull):
+	case errors.Is(err, engine.ErrQueueFull), errors.Is(err, engine.ErrTooManyJobs):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, err)
 		return
@@ -183,12 +219,20 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 // specFromQuery parses and validates the solve parameters; validation at
 // the request boundary mirrors bmatch.Options.Validate. The second return
 // is the client's requested deadline (0 = none).
-func specFromQuery(r *http.Request) (engine.Spec, time.Duration, error) {
+func (s *Server) specFromQuery(r *http.Request) (engine.Spec, time.Duration, error) {
 	q := r.URL.Query()
 	spec := engine.Spec{Algo: engine.AlgoMaxWeight}
 	var timeout time.Duration
 	if a := q.Get("algo"); a != "" {
 		spec.Algo = engine.Algo(a)
+	}
+	if ws := q.Get("workers"); ws != "" {
+		v, err := strconv.Atoi(ws)
+		if err != nil || v < 0 || v > s.cfg.MaxWorkers {
+			return spec, 0, fmt.Errorf("httpapi: bad workers %q (want 0..%d)", ws, s.cfg.MaxWorkers)
+		}
+		// 0 keeps the pool's configured default (-solver-workers).
+		spec.Workers = v
 	}
 	if e := q.Get("eps"); e != "" {
 		v, err := strconv.ParseFloat(e, 64)
@@ -234,14 +278,32 @@ func specFromQuery(r *http.Request) (engine.Spec, time.Duration, error) {
 	return spec, timeout, spec.Validate()
 }
 
-// streamResult writes the result as one JSON object, streaming the
-// matched-edge array in chunks so multi-million-edge matchings flow to the
-// client without a response-sized buffer.
+// streamResult writes the result as one JSON object, streaming the large
+// arrays (matched edges; for frac, the x vector and cover) in chunks so
+// multi-million-edge solutions flow to the client without a response-sized
+// buffer.
 func streamResult(w http.ResponseWriter, res *engine.Result) {
 	w.Header().Set("Content-Type", "application/json")
 	flusher, _ := w.(http.Flusher)
 
 	buf := make([]byte, 0, 1<<16)
+	ok := true
+	// drain flushes buf to the client once it nears the chunk size; after
+	// a write error it goes quiet (the client is gone — keep the encoder
+	// simple and let the handler return).
+	drain := func() {
+		if len(buf) < 1<<16-24 {
+			return
+		}
+		if ok {
+			if _, err := w.Write(buf); err != nil {
+				ok = false
+			} else if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		buf = buf[:0]
+	}
 	buf = append(buf, `{"algo":`...)
 	buf = appendJSONString(buf, string(res.Algo))
 	buf = append(buf, `,"instance":`...)
@@ -258,7 +320,7 @@ func streamResult(w http.ResponseWriter, res *engine.Result) {
 	buf = strconv.AppendBool(buf, res.Feasible)
 	buf = append(buf, `,"cached":`...)
 	buf = strconv.AppendBool(buf, res.FromCache)
-	if res.Algo == engine.AlgoApprox {
+	if res.Algo == engine.AlgoApprox || res.Algo == engine.AlgoFrac {
 		buf = append(buf, `,"cert":{"dualBound":`...)
 		buf = strconv.AppendFloat(buf, res.DualBound, 'g', -1, 64)
 		buf = append(buf, `,"fracValue":`...)
@@ -273,25 +335,46 @@ func streamResult(w http.ResponseWriter, res *engine.Result) {
 	}
 	buf = append(buf, `,"elapsedMs":`...)
 	buf = strconv.AppendFloat(buf, float64(res.Elapsed)/float64(time.Millisecond), 'g', 6, 64)
+	if res.Algo == engine.AlgoFrac {
+		buf = append(buf, `,"cover":{"vertices":[`...)
+		for i, v := range res.CoverVertices {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = strconv.AppendInt(buf, int64(v), 10)
+			drain()
+		}
+		buf = append(buf, `],"slackEdges":[`...)
+		for i, e := range res.CoverSlackEdges {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = strconv.AppendInt(buf, int64(e), 10)
+			drain()
+		}
+		buf = append(buf, `]},"x":[`...)
+		for i, x := range res.X {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = strconv.AppendFloat(buf, x, 'g', -1, 64)
+			drain()
+		}
+		buf = append(buf, ']')
+	}
 	buf = append(buf, `,"edges":[`...)
 	for i, e := range res.Edges {
 		if i > 0 {
 			buf = append(buf, ',')
 		}
 		buf = strconv.AppendInt(buf, int64(e), 10)
-		if len(buf) >= 1<<16-16 {
-			if _, err := w.Write(buf); err != nil {
-				return
-			}
-			if flusher != nil {
-				flusher.Flush()
-			}
-			buf = buf[:0]
-		}
+		drain()
 	}
 	buf = append(buf, `]}`...)
 	buf = append(buf, '\n')
-	w.Write(buf)
+	if ok {
+		w.Write(buf)
+	}
 }
 
 // appendJSONString appends s as a JSON string. Keys here are hex hashes and
@@ -318,6 +401,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 type statsBody struct {
 	Pool  engine.PoolStats  `json:"pool"`
 	Cache engine.CacheStats `json:"cache"`
+	Jobs  engine.JobsStats  `json:"jobs"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -325,5 +409,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(statsBody{
 		Pool:  s.pool.Stats(),
 		Cache: s.pool.Cache().Stats(),
+		Jobs:  s.jobs.Stats(),
 	})
 }

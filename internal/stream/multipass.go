@@ -9,6 +9,7 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -130,8 +131,11 @@ type instanceResult struct {
 // growInstance runs one layered instance over the stream. weighted selects
 // the Section 5 behaviour (matched-edge starts, gain-filtered prefixes);
 // otherwise the Section 4 unweighted behaviour (free-to-free walks with
-// hash-assigned layers for unmatched edges).
-func growInstance(s Stream, sm *streamMatching, k int, weighted bool, hOrient, hLayer *hash.KWise, r *rng.RNG) *instanceResult {
+// hash-assigned layers for unmatched edges). ctx is checked at every pass
+// boundary (each gap is one stream pass); a cancelled instance returns
+// ctx's error having touched only instance-local state, so the retained
+// matching is exactly what it was before the instance started.
+func growInstance(ctx context.Context, s Stream, sm *streamMatching, k int, weighted bool, hOrient, hLayer *hash.KWise, r *rng.RNG) (*instanceResult, error) {
 	// Retained instance state (released when the instance ends).
 	var instWords int64
 	charge := func(w int64) { sm.meter.Charge(w); instWords += w }
@@ -225,6 +229,9 @@ func growInstance(s Stream, sm *streamMatching, k int, weighted bool, hOrient, h
 		firstGap = 0 // unweighted layering indexes unmatched layers 0..k
 	}
 	for gap := firstGap; gap <= k && len(active) > 0; gap++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		passes++
 		// Index active paths by endpoint.
 		byEnd := make(map[int32][]*streamPath)
@@ -315,7 +322,7 @@ func growInstance(s Stream, sm *streamMatching, k int, weighted bool, hOrient, h
 			res.walks = append(res.walks, p.edges[:p.bestLen])
 		}
 	}
-	return res
+	return res, nil
 }
 
 // applyWalk flips a walk on the stored matching.
@@ -370,16 +377,35 @@ type Result struct {
 
 // OnePlusEps runs the multi-pass unweighted driver over the stream.
 func OnePlusEps(s Stream, n int, b graph.Budgets, params Params, r *rng.RNG) (*Result, error) {
-	return run(s, n, b, params, false, r)
+	return run(context.Background(), s, n, b, params, false, r)
+}
+
+// OnePlusEpsCtx is OnePlusEps with cooperative cancellation, checked at
+// every stream-pass boundary (the initial fill pass, each layered
+// instance's gap passes, and each sweep's closing fill pass) — the same
+// contract the MPC drivers gained in the engine stack. A cancelled run
+// returns ctx's error and no partial result; a completed run is
+// bit-identical to OnePlusEps.
+func OnePlusEpsCtx(ctx context.Context, s Stream, n int, b graph.Budgets, params Params, r *rng.RNG) (*Result, error) {
+	return run(ctx, s, n, b, params, false, r)
 }
 
 // OnePlusEpsWeighted runs the multi-pass weighted driver over the stream.
 func OnePlusEpsWeighted(s Stream, n int, b graph.Budgets, params Params, r *rng.RNG) (*Result, error) {
-	return run(s, n, b, params, true, r)
+	return run(context.Background(), s, n, b, params, true, r)
 }
 
-func run(s Stream, n int, b graph.Budgets, params Params, weighted bool, r *rng.RNG) (*Result, error) {
+// OnePlusEpsWeightedCtx is OnePlusEpsWeighted with cooperative
+// cancellation at pass boundaries (see OnePlusEpsCtx).
+func OnePlusEpsWeightedCtx(ctx context.Context, s Stream, n int, b graph.Budgets, params Params, r *rng.RNG) (*Result, error) {
+	return run(ctx, s, n, b, params, true, r)
+}
+
+func run(ctx context.Context, s Stream, n int, b graph.Budgets, params Params, weighted bool, r *rng.RNG) (*Result, error) {
 	params = params.withDefaults()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var meter Meter
 	sm := newStreamMatching(n, b, &meter)
 	fillPass(s, sm) // initial greedy pass (the 2-approximate baseline)
@@ -405,7 +431,10 @@ func run(s Stream, n int, b graph.Budgets, params Params, weighted bool, r *rng.
 				if err != nil {
 					return nil, err
 				}
-				inst := growInstance(s, sm, k, weighted, hOrient, hLayer, r.Split())
+				inst, err := growInstance(ctx, s, sm, k, weighted, hOrient, hLayer, r.Split())
+				if err != nil {
+					return nil, err
+				}
 				passes += inst.passes
 				for _, w := range inst.walks {
 					if err := sm.applyWalk(w); err != nil {
@@ -414,6 +443,9 @@ func run(s Stream, n int, b graph.Budgets, params Params, weighted bool, r *rng.
 					improved++
 				}
 			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		passes++
 		fillPass(s, sm)
