@@ -1,0 +1,198 @@
+// benchjson runs the repository's benchmarks with -benchmem and emits a
+// machine-readable JSON trajectory point (name, ns/op, B/op, allocs/op per
+// benchmark), so performance is tracked as committed data instead of
+// anecdotes. It can also enforce pinned allocation budgets: with -budgets,
+// any benchmark whose allocs/op exceeds its budget fails the run — CI uses
+// this to make allocation regressions in the solver hot loops a red build.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson -out BENCH_PR5.json
+//	go run ./cmd/benchjson -bench 'BenchmarkSequential|BenchmarkFullMPC' -benchtime 3x
+//	go run ./cmd/benchjson -budgets BENCH_BUDGETS.json -out /dev/null
+//
+// The workflow for the committed trajectory (see README "Benchmark
+// trajectory"): each PR that claims a perf win records a BENCH_PR<n>.json
+// produced by this tool, so the series of files *is* the perf history.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Pkg         string  `json:"pkg"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+}
+
+// File is the emitted trajectory point.
+type File struct {
+	Label     string   `json:"label,omitempty"`
+	GoVersion string   `json:"goVersion"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	CPU       string   `json:"cpu,omitempty"`
+	Timestamp string   `json:"timestamp"`
+	Bench     string   `json:"bench"`
+	BenchTime string   `json:"benchtime"`
+	Results   []Result `json:"results"`
+}
+
+// benchLine matches go test benchmark output with -benchmem, e.g.
+// "BenchmarkSequential/d=16-8   3   1580776 ns/op   508536 B/op   2009 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.eE+]+) ns/op(?:\s+([0-9.eE+]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// procSuffix is the "-N" GOMAXPROCS suffix go test appends to benchmark
+// names on multi-core machines (and omits when GOMAXPROCS=1). It is
+// stripped so trajectory points and BENCH_BUDGETS.json patterns are
+// machine-independent — budgets anchored with $ would otherwise never
+// match on a multi-core CI runner.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	var (
+		bench     = flag.String("bench", ".", "benchmark regex passed to go test -bench")
+		benchtime = flag.String("benchtime", "1x", "passed to go test -benchtime")
+		pkgs      = flag.String("pkgs", "./...", "space-separated packages to benchmark")
+		out       = flag.String("out", "", "output JSON path (default stdout)")
+		budgets   = flag.String("budgets", "", "JSON file mapping benchmark-name regex -> max allocs/op; exceeding any budget fails the run")
+		label     = flag.String("label", "", "free-form label recorded in the output (e.g. PR number)")
+		timeout   = flag.Duration("timeout", 30*time.Minute, "go test timeout")
+	)
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
+		"-benchtime", *benchtime, "-timeout", timeout.String()}
+	args = append(args, strings.Fields(*pkgs)...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fatalf("go %s: %v", strings.Join(args, " "), err)
+	}
+
+	f := &File{
+		Label:     *label,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Bench:     *bench,
+		BenchTime: *benchtime,
+	}
+	pkg := ""
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = rest
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+			f.CPU = rest
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		r := Result{Pkg: pkg, Name: procSuffix.ReplaceAllString(m[1], "")}
+		r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			bpo, _ := strconv.ParseFloat(m[4], 64)
+			r.BytesPerOp = int64(bpo)
+		}
+		if m[5] != "" {
+			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		f.Results = append(f.Results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("scanning bench output: %v", err)
+	}
+	if len(f.Results) == 0 {
+		fatalf("no benchmark results matched %q in %s", *bench, *pkgs)
+	}
+
+	enc, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatalf("write %s: %v", *out, err)
+	}
+
+	if *budgets != "" {
+		if violations := checkBudgets(*budgets, f.Results); len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "BUDGET EXCEEDED:", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "all alloc budgets respected")
+	}
+}
+
+// checkBudgets loads a {"name-regex": maxAllocsPerOp} file and returns one
+// violation string per benchmark over its tightest matching budget. A
+// budget regex that matches no benchmark is itself a violation — a renamed
+// benchmark must not silently retire its pin.
+func checkBudgets(path string, results []Result) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("budgets: %v", err)
+	}
+	var raw map[string]int64
+	if err := json.Unmarshal(data, &raw); err != nil {
+		fatalf("budgets %s: %v", path, err)
+	}
+	var violations []string
+	for pat, budget := range raw {
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			fatalf("budgets %s: bad regex %q: %v", path, pat, err)
+		}
+		matched := false
+		for _, r := range results {
+			if !re.MatchString(r.Name) {
+				continue
+			}
+			matched = true
+			if r.AllocsPerOp > budget {
+				violations = append(violations,
+					fmt.Sprintf("%s: %d allocs/op > budget %d (pattern %q)", r.Name, r.AllocsPerOp, budget, pat))
+			}
+		}
+		if !matched {
+			violations = append(violations,
+				fmt.Sprintf("budget pattern %q matched no benchmark — update BENCH_BUDGETS.json for the rename", pat))
+		}
+	}
+	return violations
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -42,6 +42,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -70,10 +71,36 @@ var (
 	maxJobsFlag   = flag.Int("max-jobs", 0, "max resident async jobs, queued + running + retained (0 = default of 1024)")
 	jobTTLFlag    = flag.Duration("job-ttl", 0, "how long finished async job results stay retrievable (0 = default of 15m)")
 	maxWorkersF   = flag.Int("max-solve-workers", 0, "max per-request workers= parallelism a client may request (0 = default of 64)")
+	pprofFlag     = flag.String("pprof", "", "optional address for the net/http/pprof debug listener (e.g. 127.0.0.1:6060); empty disables it")
 )
+
+// servePprof exposes the Go profiling endpoints on their own listener,
+// separate from the service address so profiling is never reachable through
+// the public surface. This lives in the cmd layer on purpose: the engine's
+// dependency cone must stay transport-free (TestTransportFree), and even
+// httpapi should not link the profiler into every deployment. See the
+// README "Profiling a live daemon" section for capture recipes.
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		log.Printf("bmatchd pprof listening on %s", addr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("bmatchd: pprof listener: %v", err)
+		}
+	}()
+}
 
 func main() {
 	flag.Parse()
+	if *pprofFlag != "" {
+		servePprof(*pprofFlag)
+	}
 	pool := engine.NewPool(engine.PoolConfig{
 		Workers:       *workersFlag,
 		QueueDepth:    *queueFlag,

@@ -19,6 +19,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/matching"
 	"repro/internal/mpc"
+	"repro/internal/scratch"
 )
 
 // Copy identifies the Idx-th copy of vertex V in Decompress(V, b);
@@ -67,7 +68,9 @@ type SlotAssignment struct {
 // at most b_v, every matched edge gets a valid copy at both endpoints.
 func AssignSlots(m *matching.BMatching) SlotAssignment {
 	g := m.Graph()
-	next := make([]int32, g.N)
+	ar, done := scratch.Borrow(nil)
+	defer done()
+	next := ar.I32(g.N) // slot cursors are scratch; SlotU/SlotV escape
 	sa := SlotAssignment{
 		SlotU: make([]int32, g.M()),
 		SlotV: make([]int32, g.M()),

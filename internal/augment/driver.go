@@ -14,6 +14,7 @@ import (
 	"repro/internal/matching"
 	"repro/internal/mpc"
 	"repro/internal/rng"
+	"repro/internal/scratch"
 )
 
 // Params controls the (1+ε) driver.
@@ -186,8 +187,13 @@ func runTries(ctx context.Context, m *matching.BMatching, k, retries, workers in
 			if ctx.Err() != nil {
 				return // caller aborts before applying anything from this wave
 			}
-			L := BuildLayered(m, k, rng.New(tries[i].seedB))
-			tries[i].walks = L.Grow(rng.New(tries[i].seedG))
+			// Each speculative try borrows a pooled arena for its layered
+			// instance; the extracted walks are arena-free, so the borrow
+			// ends with the try.
+			ar, done := scratch.Borrow(nil)
+			defer done()
+			L := buildLayeredScratch(m, k, rng.New(tries[i].seedB), ar)
+			tries[i].walks = L.growScratch(rng.New(tries[i].seedG), ar)
 		})
 		if err := ctx.Err(); err != nil {
 			return applied, err
@@ -196,8 +202,10 @@ func runTries(ctx context.Context, m *matching.BMatching, k, retries, workers in
 		for i := range tries {
 			ws := tries[i].walks
 			if !clean {
-				L := BuildLayered(m, k, rng.New(tries[i].seedB))
-				ws = L.Grow(rng.New(tries[i].seedG))
+				ar, done := scratch.Borrow(nil)
+				L := buildLayeredScratch(m, k, rng.New(tries[i].seedB), ar)
+				ws = L.growScratch(rng.New(tries[i].seedG), ar)
+				done()
 			}
 			for _, wk := range ws {
 				if err := wk.Apply(m); err != nil {

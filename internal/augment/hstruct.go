@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/matching"
+	"repro/internal/scratch"
 )
 
 // HEdge is an edge of H between two copies; FromM says whether it came from
@@ -39,8 +40,12 @@ func BuildH(m, mstar *matching.BMatching) (*HGraph, error) {
 
 	inDiff := func(e int32) bool { return m.Contains(e) != mstar.Contains(e) }
 
-	degM := make([]int32, n)
-	degStar := make([]int32, n)
+	// Per-vertex degree counters and copy-slot cursors are pure scratch;
+	// only BPrime and the edge list escape in the result.
+	ar, done := scratch.Borrow(nil)
+	defer done()
+	degM := ar.I32(n)
+	degStar := ar.I32(n)
 	for e := 0; e < g.M(); e++ {
 		if !inDiff(int32(e)) {
 			continue
@@ -66,8 +71,8 @@ func BuildH(m, mstar *matching.BMatching) (*HGraph, error) {
 	// v goes to copy i, and independently the i-th M*-edge goes to copy i.
 	// Both numberings fit inside b'_v, and no copy sees two edges from the
 	// same side.
-	nextM := make([]int32, n)
-	nextStar := make([]int32, n)
+	nextM := ar.I32(n)
+	nextStar := ar.I32(n)
 	for e := 0; e < g.M(); e++ {
 		if !inDiff(int32(e)) {
 			continue

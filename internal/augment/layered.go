@@ -20,6 +20,7 @@ package augment
 import (
 	"repro/internal/matching"
 	"repro/internal/rng"
+	"repro/internal/scratch"
 )
 
 // Layered is one random layered-graph instance for a fixed matching.
@@ -50,21 +51,49 @@ type Layered struct {
 func lkey(layer int, v int32) int64 { return int64(layer)<<32 | int64(v) }
 
 // BuildLayered draws a random layered graph for matching m with K matched
-// layers.
+// layers. The returned instance owns its buffers; the driver's hot loop
+// uses buildLayeredScratch instead, which borrows them from an arena whose
+// lifetime the caller scopes around the instance.
 func BuildLayered(m *matching.BMatching, K int, r *rng.RNG) *Layered {
+	return buildLayeredScratch(m, K, r, nil)
+}
+
+// buildLayeredScratch is BuildLayered drawing the instance's flat arrays
+// from ar (nil allocates them normally). The instance — including the walks
+// index maps, but not the walks returned by Grow, which are copied out —
+// must not outlive the borrow scope of ar. RNG consumption is identical to
+// BuildLayered.
+func buildLayeredScratch(m *matching.BMatching, K int, r *rng.RNG, ar *scratch.Arena) *Layered {
 	g := m.Graph()
-	L := &Layered{
-		K:           K,
-		m:           m,
-		arcLayer:    make([]int32, g.M()),
-		arcTail:     make([]int32, g.M()),
-		arcHead:     make([]int32, g.M()),
-		arcUsed:     make([]bool, g.M()),
-		arcsAt:      make(map[int64][]int32),
-		unmatchedAt: make(map[int64][]int32),
-		edgeUsed:    make([]bool, g.M()),
-		f0:          make([]int32, g.N),
-		fk1:         make([]int32, g.N),
+	var L *Layered
+	if ar != nil {
+		L = &Layered{
+			K:           K,
+			m:           m,
+			arcLayer:    ar.I32Raw(g.M()), // written for every matched edge before any read
+			arcTail:     ar.I32Raw(g.M()),
+			arcHead:     ar.I32Raw(g.M()),
+			arcUsed:     ar.Bool(g.M()),
+			arcsAt:      make(map[int64][]int32),
+			unmatchedAt: make(map[int64][]int32),
+			edgeUsed:    ar.Bool(g.M()),
+			f0:          ar.I32(g.N),
+			fk1:         ar.I32(g.N),
+		}
+	} else {
+		L = &Layered{
+			K:           K,
+			m:           m,
+			arcLayer:    make([]int32, g.M()),
+			arcTail:     make([]int32, g.M()),
+			arcHead:     make([]int32, g.M()),
+			arcUsed:     make([]bool, g.M()),
+			arcsAt:      make(map[int64][]int32),
+			unmatchedAt: make(map[int64][]int32),
+			edgeUsed:    make([]bool, g.M()),
+			f0:          make([]int32, g.N),
+			fk1:         make([]int32, g.N),
+		}
 	}
 	// Free copies to boundary layers (each free slot independently).
 	for v := 0; v < g.N; v++ {
@@ -117,6 +146,13 @@ type path struct {
 // alternating walk length 2K+1). The returned walks can all be applied to
 // the matching the instance was built from.
 func (L *Layered) Grow(r *rng.RNG) []matching.Walk {
+	return L.growScratch(r, nil)
+}
+
+// growScratch is Grow with its free-slot counters borrowed from ar (nil
+// allocates). The returned walks are always safe to retain: their edge
+// lists are built by ordinary appends, never on the arena.
+func (L *Layered) growScratch(r *rng.RNG, ar *scratch.Arena) []matching.Walk {
 	g := L.m.Graph()
 
 	// Start one path per free copy in L_0.
@@ -126,7 +162,12 @@ func (L *Layered) Grow(r *rng.RNG) []matching.Walk {
 			active = append(active, &path{start: int32(v), end: int32(v)})
 		}
 	}
-	fk1Left := make([]int32, g.N)
+	var fk1Left []int32
+	if ar != nil {
+		fk1Left = ar.I32Raw(g.N)
+	} else {
+		fk1Left = make([]int32, g.N)
+	}
 	copy(fk1Left, L.fk1)
 
 	var done []*path

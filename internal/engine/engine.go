@@ -40,6 +40,7 @@ import (
 	"repro/internal/graphio"
 	"repro/internal/matching"
 	"repro/internal/rng"
+	"repro/internal/scratch"
 	"repro/internal/weighted"
 )
 
@@ -223,6 +224,13 @@ type Session struct {
 	enc   []byte // canonical-encoding scratch, grown once and reused
 	stats SessionStats
 
+	// arena is the session's solver scratch arena, threaded into the
+	// drivers' round-local buffers so repeat solves through one session
+	// (one pool worker) reuse the same slabs instead of re-allocating
+	// every round. Created lazily on the first solve; like the session
+	// itself, it is single-goroutine.
+	arena *scratch.Arena
+
 	// Limits bounds what Instance/ReadInstance will decode. The zero value
 	// is unlimited (fine in-process); the Pool sets it for network input.
 	Limits graphio.Limits
@@ -395,7 +403,16 @@ func (s *Session) Solve(ctx context.Context, inst *Instance, spec Spec) (*Result
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	sol, err := Solve(ctx, inst.G, inst.B, spec)
+	if s.arena == nil {
+		s.arena = new(scratch.Arena)
+	}
+	sol, err := solveScratch(ctx, inst.G, inst.B, spec, s.arena)
+	if s.arena.Oversized() {
+		// Same retention policy as shrinkScratch and scratch.Put: one
+		// giant solve must not pin its peak slab footprint in this worker
+		// (times every pooled session) for the daemon's lifetime.
+		s.arena = nil
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -447,6 +464,16 @@ func resultFromSolved(spec Spec, sol *Solved) *Result {
 // guarantee hold by construction. ctx follows the package cancellation
 // contract; wrap it with WithProgress to observe checkpoints.
 func Solve(ctx context.Context, g *graph.Graph, b graph.Budgets, spec Spec) (*Solved, error) {
+	return solveScratch(ctx, g, b, spec, nil)
+}
+
+// solveScratch is Solve with an optional caller-owned scratch arena (a
+// Session passes its own so round-local solver buffers are reused across
+// solves; nil lets the drivers borrow pooled arenas). The arena never
+// changes results — a cancelled or failed solve releases its borrows via
+// the drivers' deferred checkpoints, leaving the arena clean for the next
+// solve.
+func solveScratch(ctx context.Context, g *graph.Graph, b graph.Budgets, spec Spec, ar *scratch.Arena) (*Solved, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -458,6 +485,7 @@ func Solve(ctx context.Context, g *graph.Graph, b graph.Budgets, spec Spec) (*So
 		params = frac.PaperParams()
 	}
 	params.Workers = spec.Workers
+	params.Scratch = ar
 
 	sol := &Solved{}
 	switch spec.Algo {

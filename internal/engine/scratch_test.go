@@ -1,0 +1,222 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// TestSessionSolveSteadyStateAllocs pins the steady-state allocation count
+// of a warmed Session.Solve on the arena-backed solve path (AlgoApprox:
+// FullMPC compression + rounding). The budget is far below what the
+// pre-arena stack allocated on this shape (~20k objects), so a future PR
+// that reintroduces per-round make()s in the drivers trips it.
+func TestSessionSolveSteadyStateAllocs(t *testing.T) {
+	r := rng.New(5)
+	g, b := graph.ClientServer(200, 12, 4, 3, 20, r.Split())
+	s := NewSession(nil)
+	inst, err := s.InstanceFromGraph(g, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	spec := Spec{Algo: AlgoApprox, Seed: 3, Workers: 1, NoCache: true}
+
+	for i := 0; i < 2; i++ {
+		if _, err := s.Solve(ctx, inst, spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(5, func() {
+		if _, err := s.Solve(ctx, inst, spec); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 4000
+	if avg > budget {
+		t.Fatalf("warmed Session.Solve allocates %.0f objects/solve, budget %d", avg, budget)
+	}
+}
+
+// TestArenaNeverSharedAcrossInFlightSolves hammers the arena-reuse paths
+// under -race: (a) one Session solving back-to-back with interleaved algos
+// and seeds — arena reuse across solves — and (b) a Pool running many
+// concurrent NoCache solves — per-worker arenas plus pooled per-task
+// arenas in flight simultaneously. Every result must be bit-identical to a
+// fresh single-solve reference; any scratch shared across in-flight solves
+// would corrupt results or trip the race detector.
+func TestArenaNeverSharedAcrossInFlightSolves(t *testing.T) {
+	r := rng.New(17)
+	g, b := graph.ClientServer(150, 10, 4, 3, 20, r.Split())
+	ctx := context.Background()
+
+	algos := []Algo{AlgoApprox, AlgoMax, AlgoMaxWeight, AlgoFrac}
+	const seeds = 3
+	type key struct {
+		algo Algo
+		seed int64
+	}
+	ref := make(map[key]*Solved)
+	for _, algo := range algos {
+		for seed := int64(0); seed < seeds; seed++ {
+			sol, err := Solve(ctx, g, b, Spec{Algo: algo, Seed: seed, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref[key{algo, seed}] = sol
+		}
+	}
+	check := func(t *testing.T, res *Result, want *Solved) {
+		t.Helper()
+		if want.Frac != nil {
+			if len(res.X) != len(want.Frac.X) {
+				t.Fatalf("frac X length %d, want %d", len(res.X), len(want.Frac.X))
+			}
+			for i := range res.X {
+				if res.X[i] != want.Frac.X[i] {
+					t.Fatalf("frac x[%d] = %v, want %v", i, res.X[i], want.Frac.X[i])
+				}
+			}
+			return
+		}
+		edges := want.M.Edges()
+		if res.Size != want.M.Size() || len(res.Edges) != len(edges) {
+			t.Fatalf("size %d (%d edges), want %d (%d)", res.Size, len(res.Edges), want.M.Size(), len(edges))
+		}
+		for i := range edges {
+			if res.Edges[i] != edges[i] {
+				t.Fatalf("edge[%d] = %d, want %d", i, res.Edges[i], edges[i])
+			}
+		}
+	}
+
+	t.Run("one-session-serial-reuse", func(t *testing.T) {
+		s := NewSession(nil)
+		inst, err := s.InstanceFromGraph(g, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 2; round++ {
+			for _, algo := range algos {
+				for seed := int64(0); seed < seeds; seed++ {
+					res, err := s.Solve(ctx, inst, Spec{Algo: algo, Seed: seed, Workers: 1, NoCache: true})
+					if err != nil {
+						t.Fatal(err)
+					}
+					check(t, res, ref[key{algo, seed}])
+				}
+			}
+		}
+	})
+
+	t.Run("pool-concurrent", func(t *testing.T) {
+		p := NewPool(PoolConfig{Workers: 4, QueueDepth: 64})
+		defer p.Close()
+		s := NewSession(p.Cache())
+		inst, err := s.InstanceFromGraph(g, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		errCh := make(chan error, len(algos)*seeds)
+		for _, algo := range algos {
+			for seed := int64(0); seed < seeds; seed++ {
+				wg.Add(1)
+				go func(algo Algo, seed int64) {
+					defer wg.Done()
+					res, err := p.SubmitWait(ctx, inst, Spec{Algo: algo, Seed: seed, Workers: 1, NoCache: true})
+					if err != nil {
+						errCh <- err
+						return
+					}
+					want := ref[key{algo, seed}]
+					if want.Frac != nil {
+						for i := range res.X {
+							if res.X[i] != want.Frac.X[i] {
+								errCh <- fmt.Errorf("%s seed %d: frac x[%d] diverged", algo, seed, i)
+								return
+							}
+						}
+						return
+					}
+					edges := want.M.Edges()
+					if len(res.Edges) != len(edges) {
+						errCh <- fmt.Errorf("%s seed %d: %d edges, want %d", algo, seed, len(res.Edges), len(edges))
+						return
+					}
+					for i := range edges {
+						if res.Edges[i] != edges[i] {
+							errCh <- fmt.Errorf("%s seed %d: edge[%d] diverged", algo, seed, i)
+							return
+						}
+					}
+				}(algo, seed)
+			}
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			t.Error(err)
+		}
+	})
+}
+
+// TestArenaReusableAfterCancel proves a ctx abort releases scratch cleanly:
+// one session's arena absorbs cancellations at many distinct checkpoints
+// (including deep inside the MPC supersteps), and after each the SAME
+// session must still produce bit-identical results — a leaked or corrupted
+// borrow would surface as divergence or a panic on the next solve.
+func TestArenaReusableAfterCancel(t *testing.T) {
+	r := rng.New(23)
+	g, b := graph.ClientServer(160, 10, 5, 3, 20, r.Split())
+
+	for _, algo := range []Algo{AlgoApprox, AlgoFrac} {
+		t.Run(string(algo), func(t *testing.T) {
+			spec := Spec{Algo: algo, Seed: 9, Workers: 1, NoCache: true}
+			ref, err := solveFresh(g, b, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := NewSession(nil)
+			inst, err := s.InstanceFromGraph(g, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			probe := &countCtx{limit: math.MaxInt64}
+			if _, err := s.Solve(probe, inst, spec); err != nil {
+				t.Fatal(err)
+			}
+			checkpoints := probe.calls.Load()
+			for _, limit := range []int64{1, 2, checkpoints / 3, checkpoints / 2, checkpoints - 1} {
+				if limit < 1 {
+					continue
+				}
+				if _, err := s.Solve(&countCtx{limit: limit}, inst, spec); !errors.Is(err, context.Canceled) {
+					t.Fatalf("cancel at checkpoint %d/%d: err = %v, want context.Canceled", limit, checkpoints, err)
+				}
+				res, err := s.Solve(context.Background(), inst, spec)
+				if err != nil {
+					t.Fatalf("solve after cancel at %d: %v", limit, err)
+				}
+				if algo == AlgoFrac {
+					if len(res.X) != len(ref.X) {
+						t.Fatalf("after cancel at %d: X length diverged", limit)
+					}
+					for i := range ref.X {
+						if res.X[i] != ref.X[i] {
+							t.Fatalf("after cancel at %d: x[%d] = %v, want %v", limit, i, res.X[i], ref.X[i])
+						}
+					}
+				} else {
+					assertSameResult(t, ref, res)
+				}
+			}
+		})
+	}
+}

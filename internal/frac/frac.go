@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/rng"
+	"repro/internal/scratch"
 )
 
 // Problem bundles an LP instance: a graph with vertex capacities B and edge
@@ -68,13 +69,20 @@ func BMatchingProblem(g *graph.Graph, b graph.Budgets) *Problem {
 
 // VertexSums returns y with y[v] = Σ_{e∈E(v)} x_e.
 func (p *Problem) VertexSums(x []float64) []float64 {
-	y := make([]float64, p.G.N)
+	return p.VertexSumsInto(make([]float64, p.G.N), x)
+}
+
+// VertexSumsInto is VertexSums writing into dst (len n), the
+// allocation-free variant for callers that reuse a scratch buffer across
+// rounds. It returns dst.
+func (p *Problem) VertexSumsInto(dst []float64, x []float64) []float64 {
+	clear(dst)
 	for e, xe := range x {
 		ed := p.G.Edges[e]
-		y[ed.U] += xe
-		y[ed.V] += xe
+		dst[ed.U] += xe
+		dst[ed.V] += xe
 	}
-	return y
+	return dst
 }
 
 // Value returns Σ_e x_e.
@@ -89,12 +97,17 @@ func Value(x []float64) float64 {
 // VLoose returns the indicator of V_loose(x, α) = {v : Σ_{e∈E(v)} x_e < α·b_v}
 // (Definition 3.2).
 func (p *Problem) VLoose(x []float64, alpha float64) []bool {
-	y := p.VertexSums(x)
-	out := make([]bool, p.G.N)
-	for v := range out {
-		out[v] = y[v] < alpha*p.B[v]
+	return p.VLooseInto(make([]bool, p.G.N), make([]float64, p.G.N), x, alpha)
+}
+
+// VLooseInto is VLoose writing the indicator into dst (len n), using y
+// (len n) as vertex-sum scratch. It returns dst.
+func (p *Problem) VLooseInto(dst []bool, y []float64, x []float64, alpha float64) []bool {
+	p.VertexSumsInto(y, x)
+	for v := range dst {
+		dst[v] = y[v] < alpha*p.B[v]
 	}
-	return out
+	return dst
 }
 
 // ELoose returns the edge ids in E_loose(x, α): edges with x_e < α·r_e whose
@@ -164,7 +177,12 @@ func (p *Problem) DualBound(x []float64, alpha float64) float64 {
 // both balances validity and keeps per-edge influence small (Section 1.4).
 // avgDeg is d̄ of the graph the process runs on.
 func (p *Problem) InitialValues(avgDeg float64) []float64 {
-	q := make([]float64, p.G.N)
+	return p.InitialValuesInto(make([]float64, p.G.M()), make([]float64, p.G.N), avgDeg)
+}
+
+// InitialValuesInto is InitialValues writing into dst (len m), using q
+// (len n) as per-vertex scratch. It returns dst.
+func (p *Problem) InitialValuesInto(dst, q []float64, avgDeg float64) []float64 {
 	for v := 0; v < p.G.N; v++ {
 		den := math.Max(float64(p.G.Deg(int32(v))), avgDeg)
 		if den <= 0 {
@@ -173,12 +191,11 @@ func (p *Problem) InitialValues(avgDeg float64) []float64 {
 		}
 		q[v] = 0.8 * p.B[v] / den
 	}
-	x := make([]float64, p.G.M())
 	for e := range p.G.Edges {
 		ed := p.G.Edges[e]
-		x[e] = math.Min(p.R[e], math.Min(q[ed.U], q[ed.V]))
+		dst[e] = math.Min(p.R[e], math.Min(q[ed.U], q[ed.V]))
 	}
-	return x
+	return dst
 }
 
 // InitialValuesUnclamped returns the ablated initialization
@@ -187,7 +204,10 @@ func (p *Problem) InitialValues(avgDeg float64) []float64 {
 // the round-compression estimates (Section 1.4); experiment E10 quantifies
 // the difference.
 func (p *Problem) InitialValuesUnclamped() []float64 {
-	q := make([]float64, p.G.N)
+	return p.initialValuesUnclampedInto(make([]float64, p.G.M()), make([]float64, p.G.N))
+}
+
+func (p *Problem) initialValuesUnclampedInto(dst, q []float64) []float64 {
 	for v := 0; v < p.G.N; v++ {
 		d := float64(p.G.Deg(int32(v)))
 		if d <= 0 {
@@ -196,12 +216,11 @@ func (p *Problem) InitialValuesUnclamped() []float64 {
 		}
 		q[v] = 0.8 * p.B[v] / d
 	}
-	x := make([]float64, p.G.M())
 	for e := range p.G.Edges {
 		ed := p.G.Edges[e]
-		x[e] = math.Min(p.R[e], math.Min(q[ed.U], q[ed.V]))
+		dst[e] = math.Min(p.R[e], math.Min(q[ed.U], q[ed.V]))
 	}
-	return x
+	return dst
 }
 
 // ThresholdFn supplies the random activity thresholds T_{v,t} ~
@@ -213,23 +232,40 @@ type ThresholdFn func(v int32, t int) float64
 // NewThresholds draws an independent threshold table for rounds 1..T over
 // the problem's vertices and returns it as a ThresholdFn.
 func NewThresholds(p *Problem, T int, r *rng.RNG) ThresholdFn {
-	tab := make([][]float64, p.G.N)
-	for v := range tab {
-		row := make([]float64, T+1)
+	return thresholdsInto(p, T, r, make([]float64, p.G.N*(T+1)))
+}
+
+// thresholdsInto draws the table into tab, a flat row-major slab of
+// n·(T+1) entries (row v at tab[v·(T+1):]). The flat layout is what makes
+// a threshold table two allocations instead of n+1; with an arena-borrowed
+// slab (newThresholdsScratch) it is zero. The draw order — vertices
+// ascending, rounds 1..T within a vertex — is part of the determinism
+// contract and must not change.
+func thresholdsInto(p *Problem, T int, r *rng.RNG, tab []float64) ThresholdFn {
+	stride := T + 1
+	for v := 0; v < p.G.N; v++ {
+		row := tab[v*stride : (v+1)*stride]
+		row[0] = 0 // t=0 is never drawn; keep it defined even on a raw slab
 		for t := 1; t <= T; t++ {
 			row[t] = r.Uniform(0.2*p.B[v], 0.4*p.B[v])
 		}
-		tab[v] = row
 	}
 	b := p.B
 	return func(v int32, t int) float64 {
-		if t < len(tab[v]) {
-			return tab[v][t]
+		if t < stride {
+			return tab[int(v)*stride+t]
 		}
 		// Beyond the pre-drawn horizon (only reachable if callers ask for
 		// more rounds than they declared): fall back to the interval midpoint.
 		return 0.3 * b[v]
 	}
+}
+
+// newThresholdsScratch is NewThresholds drawing its table from ar. The
+// returned ThresholdFn borrows from ar and must not outlive the caller's
+// release scope.
+func newThresholdsScratch(p *Problem, T int, r *rng.RNG, ar *scratch.Arena) ThresholdFn {
+	return thresholdsInto(p, T, r, ar.F64Raw(p.G.N*(T+1)))
 }
 
 // FixedThresholds returns the ablation threshold rule T_{v,t} = c·b_v
@@ -257,19 +293,40 @@ func (p *Problem) Sequential(T int, thresholds ThresholdFn, r *rng.RNG) []float6
 // partial solution. A completed run is bit-identical to Sequential with the
 // same inputs.
 func (p *Problem) SequentialCtx(ctx context.Context, T int, thresholds ThresholdFn, r *rng.RNG) ([]float64, error) {
+	return p.SequentialScratch(ctx, T, thresholds, r, nil)
+}
+
+// SequentialScratch is SequentialCtx drawing its round-local buffers
+// (threshold table, activity mask, vertex sums) from ar, so a warmed
+// long-lived caller runs rounds allocation-free; ar == nil borrows a pooled
+// arena. Only the returned solution is heap-allocated. The result is
+// bit-identical to SequentialCtx for every arena (and across arena reuse).
+func (p *Problem) SequentialScratch(ctx context.Context, T int, thresholds ThresholdFn, r *rng.RNG, ar *scratch.Arena) ([]float64, error) {
+	x := make([]float64, p.G.M())
+	if err := p.sequentialInto(ctx, x, T, thresholds, r, ar); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// sequentialInto runs Algorithm 1 writing the solution into x (len m).
+// All working buffers come from ar.
+func (p *Problem) sequentialInto(ctx context.Context, x []float64, T int, thresholds ThresholdFn, r *rng.RNG, ar *scratch.Arena) error {
+	ar, done := scratch.Borrow(ar)
+	defer done()
 	if thresholds == nil {
-		thresholds = NewThresholds(p, T, r)
+		thresholds = newThresholdsScratch(p, T, r, ar)
 	}
 	g := p.G
-	x := p.InitialValues(g.AvgDeg())
-	active := make([]bool, g.N) // V_t^active
+	p.InitialValuesInto(x, ar.F64Raw(g.N), g.AvgDeg())
+	active := ar.BoolRaw(g.N) // V_t^active
 	for v := range active {
 		active[v] = true
 	}
-	y := make([]float64, g.N)
+	y := ar.F64Raw(g.N)
 	for t := 1; t <= T; t++ {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return err
 		}
 		// y_{v,t-1} = Σ_{e∈E(v)} x_{e,t-1}
 		for v := range y {
@@ -294,7 +351,7 @@ func (p *Problem) SequentialCtx(ctx context.Context, T int, thresholds Threshold
 			}
 		}
 	}
-	return x, nil
+	return nil
 }
 
 // TightRounds returns ⌈log2(5m+1)⌉, the number of Sequential rounds that

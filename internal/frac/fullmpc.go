@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/mpc"
 	"repro/internal/rng"
+	"repro/internal/scratch"
 )
 
 // IterStat records one while-loop iteration of FullMPC for the experiment
@@ -64,11 +65,18 @@ func (p *Problem) FullMPCCtx(ctx context.Context, params MPCParams, r *rng.RNG) 
 		res.Converged = true
 		return res, nil
 	}
+	// One arena serves the whole driver: iteration-local borrows are
+	// released at each loop boundary, and nested steps (OneRoundMPC, the
+	// sequential finish) borrow from the same arena via params.Scratch.
+	ar, done := scratch.Borrow(params.Scratch)
+	defer done()
+	params.Scratch = ar
 
-	active := make([]int32, m)
+	active := ar.I32Raw(m)
 	for e := range active {
 		active[e] = int32(e)
 	}
+	ySum := ar.F64Raw(n) // vertex-sum scratch, reused every iteration
 	switchBelow := params.SwitchFactor * float64(n) * math.Log2(float64(n)+2)
 	stallStreak := 0
 
@@ -81,15 +89,16 @@ func (p *Problem) FullMPCCtx(ctx context.Context, params MPCParams, r *rng.RNG) 
 			ActiveEdges:  len(active),
 			AvgActiveDeg: 2 * float64(len(active)) / float64(n),
 		}
+		iterMark := ar.Mark()
 
 		// Remaining capacities w.r.t. the accumulated solution (lines 6-7).
-		y := p.VertexSums(res.X)
-		bRem := make([]float64, n)
+		y := p.VertexSumsInto(ySum, res.X)
+		bRem := ar.F64Raw(n)
 		for v := 0; v < n; v++ {
 			bRem[v] = math.Max(0, p.B[v]-y[v])
 		}
 		sub, orig := g.Subgraph(active)
-		rRem := make([]float64, len(orig))
+		rRem := ar.F64Raw(len(orig))
 		for i, e := range orig {
 			rRem[i] = math.Max(0, p.R[e]-res.X[e])
 		}
@@ -128,9 +137,8 @@ func (p *Problem) FullMPCCtx(ctx context.Context, params MPCParams, r *rng.RNG) 
 				res.SimStats.MaxMachineWords = or.Stats.MaxMachineWords
 			}
 		} else {
-			var err error
-			xPrime, err = subProb.SequentialCtx(ctx, TightRounds(len(active)), nil, r.Split())
-			if err != nil {
+			xPrime = ar.F64Raw(len(orig))
+			if err := subProb.sequentialInto(ctx, xPrime, TightRounds(len(active)), nil, r.Split(), ar); err != nil {
 				return nil, err
 			}
 			res.SequentialSteps++
@@ -144,7 +152,8 @@ func (p *Problem) FullMPCCtx(ctx context.Context, params MPCParams, r *rng.RNG) 
 
 		// E_active ← E_active ∩ E_loose(x, 0.05) (line 14), with looseness
 		// measured against the ORIGINAL capacities.
-		active = p.intersectLoose(active, res.X, 0.05)
+		active = p.intersectLoose(active, res.X, 0.05, ySum)
+		ar.Release(iterMark)
 		if len(active) >= stat.ActiveEdges {
 			stallStreak++
 		} else {
@@ -156,9 +165,10 @@ func (p *Problem) FullMPCCtx(ctx context.Context, params MPCParams, r *rng.RNG) 
 	return res, nil
 }
 
-// intersectLoose returns the members of active that lie in E_loose(x, α).
-func (p *Problem) intersectLoose(active []int32, x []float64, alpha float64) []int32 {
-	y := p.VertexSums(x)
+// intersectLoose returns the members of active that lie in E_loose(x, α),
+// using y (len n) as vertex-sum scratch.
+func (p *Problem) intersectLoose(active []int32, x []float64, alpha float64, y []float64) []int32 {
+	p.VertexSumsInto(y, x)
 	out := active[:0]
 	for _, e := range active {
 		ed := p.G.Edges[e]

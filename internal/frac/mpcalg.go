@@ -6,15 +6,27 @@
 // constant number of communication rounds computes the final edge values
 // and zeroes out edges incident to "bad" vertices (those whose true sum
 // exceeds b_v), which restores feasibility (Theorem 3.14).
+//
+// Memory model: the step is hot inside FullMPC's while-loop, so all of its
+// index structures (partition tables, CSR holder lists, per-round working
+// arrays) are borrowed from a scratch arena and released when the step
+// returns — only the solution x̃ is heap-allocated. Machine callbacks run
+// in parallel, so per-machine state is either a disjoint region of a shared
+// array (each machine writes only vertices/edges it owns) or borrowed from
+// the pooled per-callback arenas; message payloads are packed int32/int64
+// batches allocated on the heap because they outlive the callback that
+// sends them. Results, stats, and RNG consumption are bit-identical to the
+// map-based implementation this replaced.
 package frac
 
 import (
 	"context"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/mpc"
 	"repro/internal/rng"
+	"repro/internal/scratch"
 )
 
 // MPCParams are the knobs of the round-compression step. The zero value is
@@ -45,6 +57,11 @@ type MPCParams struct {
 	// delivery phases (and for the parallel stages of the drivers built on
 	// top). 0 selects GOMAXPROCS. Results are identical for every value.
 	Workers int
+	// Scratch, when non-nil, is the caller-owned arena the drivers borrow
+	// their round-local buffers from (engine sessions own one per worker);
+	// nil borrows from the package pool. Purely an allocation knob: results
+	// are bit-identical for every arena and across arena reuse.
+	Scratch *scratch.Arena
 }
 
 // PaperParams returns the constants exactly as in the paper (TDivisor 1000),
@@ -81,15 +98,9 @@ type OneRoundResult struct {
 	Stats           mpc.Stats
 }
 
-type vertActive struct {
-	V    int32
-	Last int32 // largest t with v ∈ Ṽ_t^active
-}
-
-type vertSum struct {
-	V   int32
-	Sum float64
-}
+// packVA packs a (vertex, last-active-round) pair into one int64 message
+// word; lastActive is always ≥ 0, so the low 32 bits round-trip exactly.
+func packVA(v, last int32) int64 { return int64(v)<<32 | int64(uint32(last)) }
 
 // OneRoundMPC executes Algorithm 2 on the MPC simulator. thresholds may be
 // nil (a fresh table is drawn). The returned x̃ is always LP-feasible.
@@ -114,6 +125,9 @@ func (p *Problem) OneRoundMPCCtx(ctx context.Context, params MPCParams, threshol
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	ar, done := scratch.Borrow(params.Scratch)
+	defer done()
+
 	davg := g.AvgDeg()
 	N := int(math.Ceil(math.Sqrt(davg)))
 	if N < 2 {
@@ -121,17 +135,17 @@ func (p *Problem) OneRoundMPCCtx(ctx context.Context, params MPCParams, threshol
 	}
 	T := params.pickT(N)
 	if thresholds == nil {
-		thresholds = NewThresholds(p, T, r)
+		thresholds = newThresholdsScratch(p, T, r, ar)
 	}
-	var x0 []float64
+	x0 := ar.F64Raw(m)
 	if params.InitNoClamp {
-		x0 = p.InitialValuesUnclamped()
+		p.initialValuesUnclampedInto(x0, ar.F64Raw(n))
 	} else {
-		x0 = p.InitialValues(davg)
+		p.InitialValuesInto(x0, ar.F64Raw(n), davg)
 	}
 
 	// Random vertex partition (line 3 of Algorithm 2).
-	iv := make([]int32, n)
+	iv := ar.I32Raw(n)
 	for v := range iv {
 		iv[v] = int32(r.Intn(N))
 	}
@@ -147,17 +161,29 @@ func (p *Problem) OneRoundMPCCtx(ctx context.Context, params MPCParams, threshol
 	sim.SetContext(ctx)
 
 	// Input layout (arbitrary initial distribution, as the model allows):
-	// edge e starts at machine e mod mtot.
-	startEdges := make([][]int32, mtot)
+	// edge e starts at machine e mod mtot. CSR: machine h's edges are
+	// seList[seStart[h]:seStart[h+1]], ascending.
+	seStart := ar.I32(mtot + 1)
 	for e := 0; e < m; e++ {
-		h := e % mtot
-		startEdges[h] = append(startEdges[h], int32(e))
+		seStart[e%mtot+1]++
+	}
+	for i := 0; i < mtot; i++ {
+		seStart[i+1] += seStart[i]
+	}
+	seList := ar.I32Raw(m)
+	{
+		fill := ar.I32(mtot)
+		for e := 0; e < m; e++ {
+			h := e % mtot
+			seList[seStart[h]+fill[h]] = int32(e)
+			fill[h]++
+		}
 	}
 
 	// holder[e]: machine that computes x̃_e after the shuffle. Induced edges
 	// move to their partition's machine; crossing edges stay at their start.
-	holder := make([]int32, m)
-	induced := make([]bool, m)
+	holder := ar.I32Raw(m)
+	induced := ar.BoolRaw(m)
 	for e := 0; e < m; e++ {
 		ed := g.Edges[e]
 		if iv[ed.U] == iv[ed.V] {
@@ -165,51 +191,113 @@ func (p *Problem) OneRoundMPCCtx(ctx context.Context, params MPCParams, threshol
 			induced[e] = true
 		} else {
 			holder[e] = int32(e % mtot)
+			induced[e] = false
 		}
 	}
 
-	// vertexToHolders[v]: machines holding an edge incident to v, deduped
-	// with a timestamp array so the whole pass is O(m).
-	vertexToHolders := make([][]int32, n)
-	{
-		stamp := make([]int, mtot)
-		for i := range stamp {
-			stamp[i] = -1
-		}
-		for v := 0; v < n; v++ {
-			for _, e := range g.Incident(int32(v)) {
-				h := int(holder[e])
-				if stamp[h] != v {
-					stamp[h] = v
-					vertexToHolders[v] = append(vertexToHolders[v], int32(h))
-				}
+	// vertexToHolders: machines holding an edge incident to v, deduped with
+	// a timestamp array so the whole pass is O(m). CSR: v's holders are
+	// vthList[vthStart[v]:vthStart[v+1]], in first-occurrence order of
+	// Incident(v).
+	vthStart := ar.I32(n + 1)
+	stamp := ar.I32Raw(mtot)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		for _, e := range g.Incident(int32(v)) {
+			if h := holder[e]; stamp[h] != int32(v) {
+				stamp[h] = int32(v)
+				vthStart[v+1]++
 			}
 		}
 	}
-
-	// partitionVertices[i]: vertices assigned to partition i.
-	partitionVertices := make([][]int32, N)
 	for v := 0; v < n; v++ {
-		partitionVertices[iv[v]] = append(partitionVertices[iv[v]], int32(v))
+		vthStart[v+1] += vthStart[v]
+	}
+	vthList := ar.I32Raw(int(vthStart[n]))
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		idx := vthStart[v]
+		for _, e := range g.Incident(int32(v)) {
+			if h := holder[e]; stamp[h] != int32(v) {
+				stamp[h] = int32(v)
+				vthList[idx] = h
+				idx++
+			}
+		}
+	}
+	vth := func(v int32) []int32 { return vthList[vthStart[v]:vthStart[v+1]] }
+
+	// partitionVertices: vertices assigned to partition i, ascending. CSR.
+	pvStart := ar.I32(N + 1)
+	for v := 0; v < n; v++ {
+		pvStart[iv[v]+1]++
+	}
+	for i := 0; i < N; i++ {
+		pvStart[i+1] += pvStart[i]
+	}
+	pvList := ar.I32Raw(n)
+	{
+		fill := ar.I32(N)
+		for v := 0; v < n; v++ {
+			i := iv[v]
+			pvList[pvStart[i]+fill[i]] = int32(v)
+			fill[i]++
+		}
 	}
 
-	// vertexHome[v]: machine aggregating v's true incident sum.
-	vertexHome := func(v int32) int { return int(v) % mtot }
-
-	// Shared result arrays; each machine writes only slots it owns, so
-	// concurrent writes are race-free.
-	lastActive := make([]int32, n)
+	// Shared result/working arrays; each machine writes only slots it owns
+	// (its partition's vertices, its held edges), so concurrent writes are
+	// race-free. xFinal escapes in the result and stays heap-allocated.
+	lastActive := ar.I32Raw(n)
+	act := ar.BoolRaw(n) // round-2 activity, per partition vertex
+	ySum := ar.F64Raw(n) // round-2 local estimate sums, per partition vertex
+	xw := ar.F64Raw(m)   // round-2 local edge values, per induced edge
 	xFinal := make([]float64, m)
 
-	// ---- Round 1: shuffle induced edges to their partition machines. ----
+	// ---- Round 1: shuffle induced edges to their partition machines,
+	// batched per destination (same words and delivery order as one message
+	// per edge: batches are built in ascending edge id and delivered in
+	// sender order). ----
 	inducedAt := sim.Exchange(func(mm *mpc.Machine) {
-		mine := startEdges[mm.ID]
+		mine := seList[seStart[mm.ID]:seStart[mm.ID+1]]
 		mm.Charge(int64(len(mine)))
+		a2 := scratch.Get()
+		defer scratch.Put(a2)
+		cnt := a2.I32(mtot)
 		sent := int64(0)
 		for _, e := range mine {
 			if induced[e] {
-				mm.Send(int(holder[e]), int64(e), e, 1)
+				cnt[holder[e]]++
 				sent++
+			}
+		}
+		if sent > 0 {
+			// Payloads outlive this callback (consumed next round), so the
+			// batch slab is heap-allocated and carved per destination.
+			flat := make([]int32, sent)
+			off := a2.I32Raw(mtot)
+			o := int32(0)
+			for d := 0; d < mtot; d++ {
+				off[d] = o
+				o += cnt[d]
+			}
+			for _, e := range mine {
+				if induced[e] {
+					d := holder[e]
+					flat[off[d]] = e
+					off[d]++
+				}
+			}
+			o = 0
+			for d := 0; d < mtot; d++ {
+				if cnt[d] > 0 {
+					mm.Send(d, 0, flat[o:o+cnt[d]], int64(cnt[d]))
+					o += cnt[d]
+				}
 			}
 		}
 		mm.Release(sent)
@@ -218,89 +306,147 @@ func (p *Problem) OneRoundMPCCtx(ctx context.Context, params MPCParams, threshol
 		return nil, err
 	}
 
-	// heldEdges[i]: edges machine i computes x̃ for.
-	heldEdges := make([][]int32, mtot)
+	// heldEdges: edges machine i computes x̃ for — its induced arrivals (in
+	// delivery order: sender ascending, edge id ascending within a sender),
+	// then its remaining crossing edges ascending. CSR.
+	heStart := ar.I32(mtot + 1)
 	for i := 0; i < mtot; i++ {
+		c := int32(0)
 		for _, msg := range inducedAt[i] {
-			heldEdges[i] = append(heldEdges[i], msg.Payload.(int32))
+			c += int32(len(msg.Payload.([]int32)))
 		}
-		for _, e := range startEdges[i] {
+		for _, e := range seList[seStart[i]:seStart[i+1]] {
 			if !induced[e] {
-				heldEdges[i] = append(heldEdges[i], e)
+				c++
 			}
 		}
+		heStart[i+1] = heStart[i] + c
 	}
+	heList := ar.I32Raw(int(heStart[mtot]))
 	maxMachineEdges := 0
 	for i := 0; i < mtot; i++ {
-		if len(heldEdges[i]) > maxMachineEdges {
-			maxMachineEdges = len(heldEdges[i])
+		idx := heStart[i]
+		for _, msg := range inducedAt[i] {
+			for _, e := range msg.Payload.([]int32) {
+				heList[idx] = e
+				idx++
+			}
+		}
+		for _, e := range seList[seStart[i]:seStart[i+1]] {
+			if !induced[e] {
+				heList[idx] = e
+				idx++
+			}
+		}
+		if held := int(heStart[i+1] - heStart[i]); held > maxMachineEdges {
+			maxMachineEdges = held
+		}
+	}
+	held := func(i int) []int32 { return heList[heStart[i]:heStart[i+1]] }
+
+	// Local induced edges per partition machine (held ∩ induced), in held
+	// order. CSR over the first N machines.
+	leStart := ar.I32(N + 1)
+	for i := 0; i < N; i++ {
+		c := int32(0)
+		for _, e := range held(i) {
+			if induced[e] && int(holder[e]) == i {
+				c++
+			}
+		}
+		leStart[i+1] = leStart[i] + c
+	}
+	leList := ar.I32Raw(int(leStart[N]))
+	for i := 0; i < N; i++ {
+		idx := leStart[i]
+		for _, e := range held(i) {
+			if induced[e] && int(holder[e]) == i {
+				leList[idx] = e
+				idx++
+			}
 		}
 	}
 
 	// ---- Round 2: local simulation of T iterations on each induced
-	// subgraph, then scatter lastActive to edge holders. ----
+	// subgraph, then scatter lastActive to edge holders. Per-vertex sums are
+	// accumulated by sweeping the local edge list — the same additions, in
+	// the same order, as the per-vertex adjacency walk it replaced. ----
 	activeMsgs := sim.Exchange(func(mm *mpc.Machine) {
 		if mm.ID >= N {
 			return
 		}
-		verts := partitionVertices[mm.ID]
-		// Local induced edges and adjacency (edge ids into local slice).
-		var localEdges []int32
-		for _, e := range heldEdges[mm.ID] {
-			if induced[e] && int(holder[e]) == mm.ID {
-				localEdges = append(localEdges, e)
-			}
-		}
-		mm.Charge(int64(len(localEdges) + len(verts)))
-		adj := make(map[int32][]int32, len(verts))
-		for _, e := range localEdges {
-			ed := g.Edges[e]
-			adj[ed.U] = append(adj[ed.U], e)
-			adj[ed.V] = append(adj[ed.V], e)
-		}
-		xv := make(map[int32]float64, len(localEdges))
-		for _, e := range localEdges {
-			xv[e] = x0[e]
-		}
-		act := make(map[int32]bool, len(verts))
+		verts := pvList[pvStart[mm.ID]:pvStart[mm.ID+1]]
+		locals := leList[leStart[mm.ID]:leStart[mm.ID+1]]
+		mm.Charge(int64(len(locals) + len(verts)))
 		for _, v := range verts {
 			act[v] = true
 			lastActive[v] = 0
 		}
+		for _, e := range locals {
+			xw[e] = x0[e]
+		}
 		for t := 1; t <= T; t++ {
 			// ỹ_{v,t-1} = N · Σ_{e∈E_local(v)} x̃_{e,t-1}
+			for _, v := range verts {
+				ySum[v] = 0
+			}
+			for _, e := range locals {
+				ed := g.Edges[e]
+				ySum[ed.U] += xw[e]
+				ySum[ed.V] += xw[e]
+			}
 			for _, v := range verts {
 				if !act[v] {
 					continue
 				}
-				var sum float64
-				for _, e := range adj[v] {
-					sum += xv[e]
-				}
-				if float64(N)*sum > thresholds(v, t) {
+				if float64(N)*ySum[v] > thresholds(v, t) {
 					act[v] = false
 				} else {
 					lastActive[v] = int32(t)
 				}
 			}
-			for _, e := range localEdges {
+			for _, e := range locals {
 				ed := g.Edges[e]
-				if act[ed.U] && act[ed.V] && xv[e] <= p.R[e]/2 {
-					xv[e] *= 2
+				if act[ed.U] && act[ed.V] && xw[e] <= p.R[e]/2 {
+					xw[e] *= 2
 				}
 			}
 		}
 		// Scatter activity horizons to the machines that need them, batched
-		// per destination.
-		perDest := make(map[int32][]vertActive)
+		// per destination in vertex order.
+		total := 0
 		for _, v := range verts {
-			for _, h := range vertexToHolders[v] {
-				perDest[h] = append(perDest[h], vertActive{V: v, Last: lastActive[v]})
+			total += len(vth(v))
+		}
+		if total == 0 {
+			return
+		}
+		a2 := scratch.Get()
+		defer scratch.Put(a2)
+		cnt := a2.I32(mtot)
+		for _, v := range verts {
+			for _, h := range vth(v) {
+				cnt[h]++
 			}
 		}
+		flat := make([]int64, total)
+		off := a2.I32Raw(mtot)
+		o := int32(0)
 		for d := 0; d < mtot; d++ {
-			if batch, ok := perDest[int32(d)]; ok {
-				mm.Send(d, 0, batch, int64(len(batch)))
+			off[d] = o
+			o += cnt[d]
+		}
+		for _, v := range verts {
+			for _, h := range vth(v) {
+				flat[off[h]] = packVA(v, lastActive[v])
+				off[h]++
+			}
+		}
+		o = 0
+		for d := 0; d < mtot; d++ {
+			if cnt[d] > 0 {
+				mm.Send(d, 0, flat[o:o+cnt[d]], int64(cnt[d]))
+				o += cnt[d]
 			}
 		}
 	})
@@ -309,16 +455,23 @@ func (p *Problem) OneRoundMPCCtx(ctx context.Context, params MPCParams, threshol
 	}
 
 	// ---- Round 3: edge holders compute x̃_{e,T} and scatter per-vertex
-	// partial sums to vertex homes. ----
+	// partial sums to vertex homes (v's home is machine v mod mtot).
+	// Batches are built and sent in sorted vertex order so that the
+	// destination's floating-point accumulation order is deterministic. ----
 	sumMsgs := sim.Exchange(func(mm *mpc.Machine) {
-		last := make(map[int32]int32)
+		mine := held(mm.ID)
+		a2 := scratch.Get()
+		defer scratch.Put(a2)
+		last := a2.I32(n) // zeroed: unreported vertices default to horizon 0
 		for _, msg := range activeMsgs[mm.ID] {
-			for _, va := range msg.Payload.([]vertActive) {
-				last[va.V] = va.Last
+			for _, pk := range msg.Payload.([]int64) {
+				last[int32(pk>>32)] = int32(uint32(pk))
 			}
 		}
-		partial := make(map[int32]float64)
-		for _, e := range heldEdges[mm.ID] {
+		partial := a2.F64Raw(n)
+		seen := a2.Bool(n)
+		touched := a2.I32Raw(2 * len(mine))[:0]
+		for _, e := range mine {
 			ed := g.Edges[e]
 			horizon := minInt32(last[ed.U], last[ed.V])
 			cur := x0[e]
@@ -330,23 +483,47 @@ func (p *Problem) OneRoundMPCCtx(ctx context.Context, params MPCParams, threshol
 				}
 			}
 			xFinal[e] = cur
+			if !seen[ed.U] {
+				seen[ed.U] = true
+				partial[ed.U] = 0
+				touched = append(touched, ed.U)
+			}
 			partial[ed.U] += cur
+			if !seen[ed.V] {
+				seen[ed.V] = true
+				partial[ed.V] = 0
+				touched = append(touched, ed.V)
+			}
 			partial[ed.V] += cur
 		}
-		// Batches are built and sent in sorted vertex order so that the
-		// destination's floating-point accumulation order is deterministic.
-		verts := make([]int32, 0, len(partial))
-		for v := range partial {
-			verts = append(verts, v)
+		if len(touched) == 0 {
+			return
 		}
-		sortInt32(verts)
-		perDest := make(map[int][]vertSum)
-		for _, v := range verts {
-			perDest[vertexHome(v)] = append(perDest[vertexHome(v)], vertSum{V: v, Sum: partial[v]})
+		slices.Sort(touched)
+		cnt := a2.I32(mtot)
+		for _, v := range touched {
+			cnt[int(v)%mtot]++
 		}
+		// Interleaved (vertex, float64-bits) pairs; words stay one per
+		// vertex entry, as before batching.
+		flat := make([]int64, 2*len(touched))
+		off := a2.I32Raw(mtot)
+		o := int32(0)
 		for d := 0; d < mtot; d++ {
-			if batch, ok := perDest[d]; ok {
-				mm.Send(d, int64(mm.ID), batch, int64(len(batch)))
+			off[d] = o
+			o += cnt[d]
+		}
+		for _, v := range touched {
+			d := int(v) % mtot
+			flat[2*off[d]] = int64(v)
+			flat[2*off[d]+1] = int64(math.Float64bits(partial[v]))
+			off[d]++
+		}
+		o = 0
+		for d := 0; d < mtot; d++ {
+			if cnt[d] > 0 {
+				mm.Send(d, int64(mm.ID), flat[2*o:2*(o+cnt[d])], int64(cnt[d]))
+				o += cnt[d]
 			}
 		}
 	})
@@ -356,29 +533,70 @@ func (p *Problem) OneRoundMPCCtx(ctx context.Context, params MPCParams, threshol
 
 	// ---- Round 4: vertex homes detect bad vertices and notify holders. ----
 	badMsgs := sim.Exchange(func(mm *mpc.Machine) {
-		total := make(map[int32]float64)
-		for _, msg := range sumMsgs[mm.ID] {
-			for _, vs := range msg.Payload.([]vertSum) {
-				total[vs.V] += vs.Sum
+		inbox := sumMsgs[mm.ID]
+		entries := 0
+		for _, msg := range inbox {
+			entries += len(msg.Payload.([]int64)) / 2
+		}
+		if entries == 0 {
+			return
+		}
+		a2 := scratch.Get()
+		defer scratch.Put(a2)
+		total := a2.F64Raw(n)
+		seen := a2.Bool(n)
+		touched := a2.I32Raw(entries)[:0]
+		for _, msg := range inbox {
+			pk := msg.Payload.([]int64)
+			for j := 0; j < len(pk); j += 2 {
+				v := int32(pk[j])
+				if !seen[v] {
+					seen[v] = true
+					total[v] = 0
+					touched = append(touched, v)
+				}
+				total[v] += math.Float64frombits(uint64(pk[j+1]))
 			}
 		}
 		const tol = 1e-9
-		badVerts := make([]int32, 0)
-		for v, s := range total {
-			if s > p.B[v]*(1+tol)+tol {
+		badVerts := a2.I32Raw(len(touched))[:0]
+		for _, v := range touched {
+			if total[v] > p.B[v]*(1+tol)+tol {
 				badVerts = append(badVerts, v)
 			}
 		}
-		sortInt32(badVerts)
-		perDest := make(map[int32][]int32)
+		if len(badVerts) == 0 {
+			return
+		}
+		slices.Sort(badVerts)
+		tot := 0
 		for _, v := range badVerts {
-			for _, h := range vertexToHolders[v] {
-				perDest[h] = append(perDest[h], v)
+			tot += len(vth(v))
+		}
+		cnt := a2.I32(mtot)
+		for _, v := range badVerts {
+			for _, h := range vth(v) {
+				cnt[h]++
 			}
 		}
+		flat := make([]int32, tot)
+		off := a2.I32Raw(mtot)
+		o := int32(0)
 		for d := 0; d < mtot; d++ {
-			if batch, ok := perDest[int32(d)]; ok {
-				mm.Send(d, int64(mm.ID), batch, int64(len(batch)))
+			off[d] = o
+			o += cnt[d]
+		}
+		for _, v := range badVerts {
+			for _, h := range vth(v) {
+				flat[off[h]] = v
+				off[h]++
+			}
+		}
+		o = 0
+		for d := 0; d < mtot; d++ {
+			if cnt[d] > 0 {
+				mm.Send(d, int64(mm.ID), flat[o:o+cnt[d]], int64(cnt[d]))
+				o += cnt[d]
 			}
 		}
 	})
@@ -388,16 +606,18 @@ func (p *Problem) OneRoundMPCCtx(ctx context.Context, params MPCParams, threshol
 
 	// ---- Round 5: holders zero out edges incident to bad vertices. ----
 	sim.Round(func(mm *mpc.Machine) {
-		bad := make(map[int32]bool)
+		if len(badMsgs[mm.ID]) == 0 {
+			return
+		}
+		a2 := scratch.Get()
+		defer scratch.Put(a2)
+		bad := a2.Bool(n)
 		for _, msg := range badMsgs[mm.ID] {
 			for _, v := range msg.Payload.([]int32) {
 				bad[v] = true
 			}
 		}
-		if len(bad) == 0 {
-			return
-		}
-		for _, e := range heldEdges[mm.ID] {
+		for _, e := range held(mm.ID) {
 			ed := g.Edges[e]
 			if bad[ed.U] || bad[ed.V] {
 				xFinal[e] = 0
@@ -417,10 +637,6 @@ func (p *Problem) OneRoundMPCCtx(ctx context.Context, params MPCParams, threshol
 		MaxMachineEdges: maxMachineEdges,
 		Stats:           sim.Stats(),
 	}, nil
-}
-
-func sortInt32(s []int32) {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 }
 
 func maxInt(a, b int) int {

@@ -14,6 +14,7 @@ import (
 	"repro/internal/matching"
 	"repro/internal/mpc"
 	"repro/internal/rng"
+	"repro/internal/scratch"
 )
 
 // Params controls the rounding.
@@ -40,8 +41,16 @@ func DefaultParams() Params { return Params{SampleDivisor: 4, Repeats: 16} }
 // Sample performs one trial of the Lemma 3.3 scheme and returns a valid
 // b-matching.
 func Sample(g *graph.Graph, b graph.Budgets, x []float64, div float64, r *rng.RNG) *matching.BMatching {
-	sampled := make([]int32, 0, len(x)/2)
-	cnt := make([]int, g.N)
+	ar, done := scratch.Borrow(nil)
+	defer done()
+	return sampleScratch(g, b, x, div, r, ar)
+}
+
+// sampleScratch is Sample drawing its trial-local buffers (sample list,
+// endpoint counters) from ar; only the returned matching is allocated.
+func sampleScratch(g *graph.Graph, b graph.Budgets, x []float64, div float64, r *rng.RNG, ar *scratch.Arena) *matching.BMatching {
+	sampled := ar.I32Raw(len(x) / 2)[:0]
+	cnt := ar.I32(g.N)
 	for e := range x {
 		if x[e] <= 0 {
 			continue
@@ -58,7 +67,7 @@ func Sample(g *graph.Graph, b graph.Budgets, x []float64, div float64, r *rng.RN
 		ed := g.Edges[e]
 		// Keep a sampled edge only if both endpoints saw at most b sampled
 		// edges in total (the lemma's A_u ∩ A_v event).
-		if cnt[ed.U] <= b[ed.U] && cnt[ed.V] <= b[ed.V] {
+		if int(cnt[ed.U]) <= b[ed.U] && int(cnt[ed.V]) <= b[ed.V] {
 			if err := m.Add(e); err != nil {
 				panic(err) // by the count filter both endpoints have room
 			}
@@ -98,7 +107,11 @@ func RoundCtx(ctx context.Context, g *graph.Graph, b graph.Budgets, x []float64,
 		if ctx.Err() != nil {
 			return // result discarded below; skipping frees the pool fast
 		}
-		trials[t] = Sample(g, b, x, p.SampleDivisor, rs[t])
+		// Trials run on the worker pool, so each borrows a pooled arena
+		// rather than sharing one; arena contents never affect the sample.
+		ar, done := scratch.Borrow(nil)
+		defer done()
+		trials[t] = sampleScratch(g, b, x, p.SampleDivisor, rs[t], ar)
 	})
 	if err := ctx.Err(); err != nil {
 		return nil, err

@@ -1,0 +1,240 @@
+// Package scratch provides a typed, checkpoint/reset scratch arena for the
+// solver hot loops. The solvers run as a long-lived service (bmatchd), where
+// every per-round make() in a driver loop turns into GC pressure multiplied
+// across requests; the arena lets a round borrow its working buffers in O(1)
+// and hand them all back in O(1) at the round boundary, so a warmed session
+// solves with (near) zero steady-state allocations.
+//
+// Ownership rules (see also the README "Memory model" section):
+//
+//   - An Arena is single-goroutine. Long-lived owners (an engine.Session,
+//     one pool worker) pass their arena down through the solver params; code
+//     that runs on a worker pool (rounding repeats, layered-instance tries,
+//     MPC machine callbacks) must instead Get/Put a pooled arena per task.
+//   - Borrow lifetimes are scoped: a slice obtained from Grab-style methods
+//     (F64, I32, ...) is valid until the Mark it was grabbed under is
+//     Released (or the arena is Reset). Releasing is what makes reuse work —
+//     nothing borrowed may outlive its round boundary. Anything that escapes
+//     to the caller (results, matchings, message payloads that outlive the
+//     borrow scope) must be allocated normally.
+//   - Drivers accept an optional caller arena and fall back to the package
+//     pool: ar, done := scratch.Borrow(params.Scratch); defer done(). The
+//     deferred release runs on every path, including ctx-cancelled returns,
+//     so a cancelled solve leaves its arena clean and reusable.
+//
+// The zeroed variants (F64, I32, I64, Bool) return cleared memory and are
+// the safe default; the Raw variants skip the clear and require every slot
+// to be written before it is read. Determinism note: arena reuse never leaks
+// state between borrows that follow these rules, which is what keeps solver
+// output bit-identical across arena reuse and across worker counts.
+package scratch
+
+import "sync"
+
+// page sizing: slabs grow geometrically from minPage entries, so a warmed
+// arena reaches a steady state where every Grab is a pointer bump.
+const minPage = 1024
+
+// maxRetainedEntries bounds (per typed slab) what a pooled arena keeps
+// across Put: one huge solve must not pin hundreds of megabytes inside
+// every pooled arena afterwards. 1<<22 float64 entries is 32 MiB.
+const maxRetainedEntries = 1 << 22
+
+type slab[T any] struct {
+	pages [][]T
+	page  int // index of the page Grabs currently bump
+	off   int // next free slot in pages[page]
+}
+
+// grab returns n uninitialized entries. Previously returned borrows are
+// never moved or aliased: when the current page lacks room the slab steps
+// to (or allocates) the next page, leaving outstanding borrows untouched.
+func (s *slab[T]) grab(n int) []T {
+	if n == 0 {
+		return nil
+	}
+	for {
+		if s.page < len(s.pages) {
+			p := s.pages[s.page]
+			if s.off+n <= len(p) {
+				out := p[s.off : s.off+n : s.off+n]
+				s.off += n
+				return out
+			}
+			if s.off == 0 {
+				// Empty page still too small for n: replace it with one
+				// that fits, so repeated large grabs don't strand pages.
+				s.pages[s.page] = make([]T, nextSize(len(p), n))
+				continue
+			}
+			s.page++
+			s.off = 0
+			continue
+		}
+		last := minPage
+		if len(s.pages) > 0 {
+			last = nextSize(len(s.pages[len(s.pages)-1]), n)
+		} else if last < n {
+			last = nextSize(last, n)
+		}
+		s.pages = append(s.pages, make([]T, last))
+	}
+}
+
+func nextSize(prev, need int) int {
+	sz := 2 * prev
+	if sz < minPage {
+		sz = minPage
+	}
+	for sz < need {
+		sz *= 2
+	}
+	return sz
+}
+
+func (s *slab[T]) mark() slabMark { return slabMark{page: s.page, off: s.off} }
+
+func (s *slab[T]) release(m slabMark) {
+	// Rewinding past pages that were added after the mark is fine: the
+	// pages stay allocated and are reused by later grabs.
+	s.page, s.off = m.page, m.off
+}
+
+func (s *slab[T]) reset() { s.page, s.off = 0, 0 }
+
+// retained reports the total entries currently allocated across pages.
+func (s *slab[T]) retained() int {
+	t := 0
+	for _, p := range s.pages {
+		t += len(p)
+	}
+	return t
+}
+
+type slabMark struct{ page, off int }
+
+// Mark is a checkpoint of an arena's four typed slabs. Marks nest LIFO:
+// release in reverse order of Mark().
+type Mark struct {
+	f64, i32, i64, b slabMark
+}
+
+// Arena is a typed scratch arena. The zero value is ready to use. An Arena
+// is not safe for concurrent use; see the package comment for ownership.
+type Arena struct {
+	f64 slab[float64]
+	i32 slab[int32]
+	i64 slab[int64]
+	b   slab[bool]
+}
+
+// Mark checkpoints the arena. Everything grabbed after the mark is
+// reclaimed, in O(1), by Release(mark).
+func (a *Arena) Mark() Mark {
+	return Mark{f64: a.f64.mark(), i32: a.i32.mark(), i64: a.i64.mark(), b: a.b.mark()}
+}
+
+// Release rewinds the arena to m. Borrows taken after m become invalid and
+// their memory is reused by subsequent grabs.
+func (a *Arena) Release(m Mark) {
+	a.f64.release(m.f64)
+	a.i32.release(m.i32)
+	a.i64.release(m.i64)
+	a.b.release(m.b)
+}
+
+// Reset releases every borrow. Capacity is retained.
+func (a *Arena) Reset() {
+	a.f64.reset()
+	a.i32.reset()
+	a.i64.reset()
+	a.b.reset()
+}
+
+// F64 borrows n zeroed float64s.
+func (a *Arena) F64(n int) []float64 {
+	out := a.f64.grab(n)
+	clear(out)
+	return out
+}
+
+// F64Raw borrows n uninitialized float64s. Every slot must be written
+// before it is read.
+func (a *Arena) F64Raw(n int) []float64 { return a.f64.grab(n) }
+
+// I32 borrows n zeroed int32s.
+func (a *Arena) I32(n int) []int32 {
+	out := a.i32.grab(n)
+	clear(out)
+	return out
+}
+
+// I32Raw borrows n uninitialized int32s.
+func (a *Arena) I32Raw(n int) []int32 { return a.i32.grab(n) }
+
+// I64 borrows n zeroed int64s.
+func (a *Arena) I64(n int) []int64 {
+	out := a.i64.grab(n)
+	clear(out)
+	return out
+}
+
+// I64Raw borrows n uninitialized int64s.
+func (a *Arena) I64Raw(n int) []int64 { return a.i64.grab(n) }
+
+// Bool borrows n false bools.
+func (a *Arena) Bool(n int) []bool {
+	out := a.b.grab(n)
+	clear(out)
+	return out
+}
+
+// BoolRaw borrows n uninitialized bools.
+func (a *Arena) BoolRaw(n int) []bool { return a.b.grab(n) }
+
+// Oversized reports whether any slab has grown past the retention cap.
+// Long-lived arena owners (an engine session per pool worker) use it to
+// drop and lazily recreate an arena after an exceptionally large solve,
+// the same policy Put applies to pooled arenas — one giant instance must
+// not pin its peak footprint in every worker for the process lifetime.
+func (a *Arena) Oversized() bool {
+	return a.f64.retained() > maxRetainedEntries ||
+		a.i32.retained() > maxRetainedEntries ||
+		a.i64.retained() > maxRetainedEntries ||
+		a.b.retained() > maxRetainedEntries
+}
+
+var pool = sync.Pool{New: func() any { return new(Arena) }}
+
+// Get borrows an arena from the package pool. Pair with Put.
+func Get() *Arena { return pool.Get().(*Arena) }
+
+// Put resets ar and returns it to the pool. Arenas that grew past the
+// retention cap are dropped so one giant solve doesn't pin memory in the
+// pool forever.
+func Put(ar *Arena) {
+	if ar == nil || ar.Oversized() {
+		return
+	}
+	ar.Reset()
+	pool.Put(ar)
+}
+
+// Borrow resolves an optional caller-owned arena: it returns ar itself
+// (checkpointed, so done releases back to the checkpoint) when non-nil, or
+// a pooled arena (done returns it to the pool) when ar is nil. This is the
+// single entry point drivers use:
+//
+//	ar, done := scratch.Borrow(params.Scratch)
+//	defer done()
+//
+// The deferred done runs on every return path — including ctx-cancelled
+// aborts — so scratch is always released cleanly at checkpoints.
+func Borrow(ar *Arena) (*Arena, func()) {
+	if ar != nil {
+		m := ar.Mark()
+		return ar, func() { ar.Release(m) }
+	}
+	p := Get()
+	return p, func() { Put(p) }
+}

@@ -1,0 +1,170 @@
+package scratch
+
+import "testing"
+
+func TestGrabZeroedAndDisjoint(t *testing.T) {
+	var a Arena
+	x := a.F64(100)
+	y := a.F64(50)
+	if len(x) != 100 || len(y) != 50 {
+		t.Fatalf("lengths: %d %d", len(x), len(y))
+	}
+	for i := range x {
+		x[i] = 1
+	}
+	for _, v := range y {
+		if v != 0 {
+			t.Fatal("borrows alias: writing x changed y")
+		}
+	}
+	// Appending beyond a borrow's capacity must not bleed into the arena.
+	z := a.I32(4)
+	w := a.I32(4)
+	z2 := append(z, 99)
+	if w[0] != 0 {
+		t.Fatalf("append to borrow overwrote the next borrow: %v", w[0])
+	}
+	_ = z2
+}
+
+func TestMarkReleaseReuses(t *testing.T) {
+	var a Arena
+	m := a.Mark()
+	x := a.F64(64)
+	x[0] = 42
+	a.Release(m)
+	y := a.F64Raw(64)
+	if &x[0] != &y[0] {
+		t.Fatal("release did not rewind: second grab got fresh memory")
+	}
+	// The zeroed variant must clear recycled memory.
+	a.Release(m)
+	z := a.F64(64)
+	if z[0] != 0 {
+		t.Fatalf("F64 returned dirty recycled memory: %v", z[0])
+	}
+}
+
+func TestNestedMarksLIFO(t *testing.T) {
+	var a Arena
+	outer := a.Mark()
+	a.I64(10)
+	inner := a.Mark()
+	b := a.I64(10)
+	a.Release(inner)
+	c := a.I64Raw(10)
+	if &b[0] != &c[0] {
+		t.Fatal("inner release did not reuse inner grab")
+	}
+	a.Release(outer)
+	d := a.I64Raw(10)
+	first := a.i64.pages[0]
+	if &d[0] != &first[0] {
+		t.Fatal("outer release did not rewind to the start")
+	}
+}
+
+func TestGrowthAcrossPagesKeepsBorrowsValid(t *testing.T) {
+	var a Arena
+	small := a.Bool(8)
+	small[0] = true
+	big := a.Bool(minPage * 4) // forces a new page
+	if !small[0] {
+		t.Fatal("growing invalidated an outstanding borrow")
+	}
+	if len(big) != minPage*4 {
+		t.Fatal("big grab wrong length")
+	}
+	for _, v := range big {
+		if v {
+			t.Fatal("big grab not zeroed")
+		}
+	}
+}
+
+func TestSteadyStateNoNewPages(t *testing.T) {
+	var a Arena
+	for round := 0; round < 5; round++ {
+		m := a.Mark()
+		a.F64(1000)
+		a.I32(3000)
+		a.Bool(500)
+		a.Release(m)
+	}
+	pages := len(a.f64.pages) + len(a.i32.pages) + len(a.b.pages)
+	for round := 0; round < 100; round++ {
+		m := a.Mark()
+		a.F64(1000)
+		a.I32(3000)
+		a.Bool(500)
+		a.Release(m)
+	}
+	if got := len(a.f64.pages) + len(a.i32.pages) + len(a.b.pages); got != pages {
+		t.Fatalf("steady-state rounds grew pages: %d -> %d", pages, got)
+	}
+}
+
+func TestZeroLengthGrab(t *testing.T) {
+	var a Arena
+	if got := a.F64(0); got != nil {
+		t.Fatal("zero grab should be nil")
+	}
+}
+
+func TestBorrowNilUsesPool(t *testing.T) {
+	ar, done := Borrow(nil)
+	if ar == nil {
+		t.Fatal("nil arena from Borrow")
+	}
+	ar.F64(10)
+	done() // must not panic; returns to pool reset
+}
+
+func TestBorrowCheckpointsCaller(t *testing.T) {
+	var a Arena
+	x := a.F64(16)
+	x[0] = 7
+	ar, done := Borrow(&a)
+	if ar != &a {
+		t.Fatal("Borrow should hand back the caller's arena")
+	}
+	ar.F64(16)
+	done()
+	y := a.F64Raw(16)
+	if &y[0] == &x[0] {
+		t.Fatal("done released past the caller's checkpoint")
+	}
+}
+
+func TestPutDropsOversized(t *testing.T) {
+	a := new(Arena)
+	if a.Oversized() {
+		t.Fatal("fresh arena reported oversized")
+	}
+	a.F64(maxRetainedEntries + 1)
+	if !a.Oversized() {
+		t.Fatal("expected oversized")
+	}
+	Put(a) // must not retain; nothing to assert beyond no panic
+	Put(nil)
+}
+
+func TestAllocFreeSteadyState(t *testing.T) {
+	var a Arena
+	// warm
+	for i := 0; i < 3; i++ {
+		m := a.Mark()
+		a.F64(2048)
+		a.I32(2048)
+		a.Release(m)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		m := a.Mark()
+		a.F64(2048)
+		a.I32(2048)
+		a.Release(m)
+	})
+	if avg != 0 {
+		t.Fatalf("warmed arena allocates: %v allocs/op", avg)
+	}
+}

@@ -12,11 +12,12 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/graph"
 	"repro/internal/hash"
 	"repro/internal/rng"
+	"repro/internal/scratch"
 )
 
 // Params controls the multi-pass drivers.
@@ -141,9 +142,14 @@ func growInstance(ctx context.Context, s Stream, sm *streamMatching, k int, weig
 	charge := func(w int64) { sm.meter.Charge(w); instWords += w }
 	defer func() { sm.meter.Release(instWords) }()
 
-	// Free-copy split.
-	freeH := make([]int32, sm.n)
-	freeT := make([]int32, sm.n)
+	// Free-copy split. The split counters and the matched-id ordering are
+	// instance-local, so they come from a pooled scratch arena; the walks
+	// handed back hold only heap state (the meter still accounts the words
+	// as retained instance state, as before).
+	ar, releaseScratch := scratch.Borrow(nil)
+	defer releaseScratch()
+	freeH := ar.I32(sm.n)
+	freeT := ar.I32(sm.n)
 	charge(int64(2 * sm.n))
 	for v := int32(0); int(v) < sm.n; v++ {
 		for s := sm.residual(v); s > 0; s-- {
@@ -167,11 +173,11 @@ func growInstance(ctx context.Context, s Stream, sm *streamMatching, k int, weig
 	var starts []*streamPath
 	// Iterate matched edges in sorted id order: Go map iteration order is
 	// randomized and would consume the RNG nondeterministically.
-	mids := make([]int32, 0, len(sm.matched))
+	mids := ar.I32Raw(len(sm.matched))[:0]
 	for id := range sm.matched {
 		mids = append(mids, id)
 	}
-	sort.Slice(mids, func(i, j int) bool { return mids[i] < mids[j] })
+	slices.Sort(mids)
 	for _, id := range mids {
 		e := sm.matched[id]
 		if weighted {
@@ -468,7 +474,7 @@ func run(ctx context.Context, s Stream, n int, b graph.Budgets, params Params, w
 	for id := range sm.matched {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return &Result{
 		EdgeIDs:   ids,
 		Size:      len(ids),

@@ -12,6 +12,7 @@ import (
 	"repro/internal/matching"
 	"repro/internal/mpc"
 	"repro/internal/rng"
+	"repro/internal/scratch"
 )
 
 // Params controls the weighted driver. Zero fields take defaults.
@@ -157,8 +158,13 @@ func OnePlusEpsWeightedCtx(ctx context.Context, g *graph.Graph, b graph.Budgets,
 				return // round aborts below before using any job output
 			}
 			job := &jobs[j]
-			inst := BuildInstance(m, job.k, job.rB)
-			cands := inst.Grow(job.rG)
+			// The layered instance lives only inside this job, so its flat
+			// arrays come from a pooled arena; the surviving candidates are
+			// arena-free copies.
+			ar, done := scratch.Borrow(nil)
+			defer done()
+			inst := buildInstanceScratch(m, job.k, job.rB, ar)
+			cands := inst.growScratch(job.rG, ar)
 			job.out = ResolveWithin(cands, m, params.KeepProb, job.rR)
 		})
 		if err := ctx.Err(); err != nil {

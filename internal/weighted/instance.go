@@ -18,6 +18,7 @@ package weighted
 import (
 	"repro/internal/matching"
 	"repro/internal/rng"
+	"repro/internal/scratch"
 )
 
 func gapKey(gap int, v int32) int64 { return int64(gap)<<40 | int64(v) }
@@ -64,24 +65,50 @@ type Instance struct {
 }
 
 // BuildInstance draws a random weighted layered instance with k ≥ 1 matched
-// layers.
+// layers. The returned instance owns its buffers; the driver's hot loop
+// uses buildInstanceScratch, which borrows them from a per-job arena.
 func BuildInstance(m *matching.BMatching, k int, r *rng.RNG) *Instance {
+	return buildInstanceScratch(m, k, r, nil)
+}
+
+// buildInstanceScratch is BuildInstance drawing the instance's flat arrays
+// from ar (nil allocates them normally). The instance must not outlive the
+// borrow scope of ar; candidates extracted by Grow are copied out and are
+// always safe to retain. RNG consumption is identical to BuildInstance.
+func buildInstanceScratch(m *matching.BMatching, k int, r *rng.RNG, ar *scratch.Arena) *Instance {
 	if k < 1 {
 		k = 1
 	}
 	g := m.Graph()
-	in := &Instance{
-		m:        m,
-		k:        k,
-		present:  make([]bool, g.M()),
-		layer:    make([]int32, g.M()),
-		entryOf:  make([]int32, g.M()),
-		exitOf:   make([]int32, g.M()),
-		arcUsed:  make([]bool, g.M()),
-		arcsAt:   make(map[int64][]int32),
-		edgeUsed: make([]bool, g.M()),
-		freeH:    make([]int32, g.N),
-		freeT:    make([]int32, g.N),
+	var in *Instance
+	if ar != nil {
+		in = &Instance{
+			m:        m,
+			k:        k,
+			present:  ar.Bool(g.M()),
+			layer:    ar.I32Raw(g.M()), // read only where present is set
+			entryOf:  ar.I32Raw(g.M()),
+			exitOf:   ar.I32Raw(g.M()),
+			arcUsed:  ar.Bool(g.M()),
+			arcsAt:   make(map[int64][]int32),
+			edgeUsed: ar.Bool(g.M()),
+			freeH:    ar.I32(g.N),
+			freeT:    ar.I32(g.N),
+		}
+	} else {
+		in = &Instance{
+			m:        m,
+			k:        k,
+			present:  make([]bool, g.M()),
+			layer:    make([]int32, g.M()),
+			entryOf:  make([]int32, g.M()),
+			exitOf:   make([]int32, g.M()),
+			arcUsed:  make([]bool, g.M()),
+			arcsAt:   make(map[int64][]int32),
+			edgeUsed: make([]bool, g.M()),
+			freeH:    make([]int32, g.N),
+			freeT:    make([]int32, g.N),
+		}
 	}
 
 	// Bipartition the copies: each matched copy and each free copy is
@@ -119,9 +146,16 @@ func BuildInstance(m *matching.BMatching, k int, r *rng.RNG) *Instance {
 	}
 	// Step (III): one random orientation per unmatched edge; under it the
 	// edge connects copies of src in some H_i to copies of the target in
-	// T_{i+1}, never the reverse. Built as CSR by counting sort.
-	srcOf := make([]int32, g.M())
-	counts := make([]int32, g.N+1)
+	// T_{i+1}, never the reverse. Built as CSR by counting sort. counts
+	// becomes unmatchedStart, so it shares the instance's allocator.
+	var srcOf, counts []int32
+	if ar != nil {
+		srcOf = ar.I32Raw(g.M())
+		counts = ar.I32(g.N + 1)
+	} else {
+		srcOf = make([]int32, g.M())
+		counts = make([]int32, g.N+1)
+	}
 	for e := 0; e < g.M(); e++ {
 		if m.Contains(int32(e)) {
 			srcOf[e] = -1
@@ -139,8 +173,14 @@ func BuildInstance(m *matching.BMatching, k int, r *rng.RNG) *Instance {
 		counts[v+1] += counts[v]
 	}
 	in.unmatchedStart = counts
-	in.unmatchedEdges = make([]int32, counts[g.N])
-	fill := make([]int32, g.N)
+	var fill []int32
+	if ar != nil {
+		in.unmatchedEdges = ar.I32Raw(int(counts[g.N]))
+		fill = ar.I32(g.N)
+	} else {
+		in.unmatchedEdges = make([]int32, counts[g.N])
+		fill = make([]int32, g.N)
+	}
 	for e := 0; e < g.M(); e++ {
 		if srcOf[e] < 0 {
 			continue
@@ -183,6 +223,13 @@ type pathState struct {
 // one unmatched and one matched edge) and returns gain-positive candidates.
 // All returned candidates are mutually edge- and copy-disjoint.
 func (in *Instance) Grow(r *rng.RNG) []Candidate {
+	return in.growScratch(r, nil)
+}
+
+// growScratch is Grow with its free-slot counters borrowed from ar (nil
+// allocates). Returned candidates hold freshly copied walks and are always
+// safe to retain past the borrow scope.
+func (in *Instance) growScratch(r *rng.RNG, ar *scratch.Arena) []Candidate {
 	g := in.m.Graph()
 
 	var active []*pathState
@@ -212,7 +259,12 @@ func (in *Instance) Grow(r *rng.RNG) []Candidate {
 			})
 		}
 	}
-	freeTLeft := make([]int32, g.N)
+	var freeTLeft []int32
+	if ar != nil {
+		freeTLeft = ar.I32Raw(g.N)
+	} else {
+		freeTLeft = make([]int32, g.N)
+	}
 	copy(freeTLeft, in.freeT)
 
 	var finished []*pathState
