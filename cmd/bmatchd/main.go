@@ -45,11 +45,14 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/httpapi"
+	"repro/internal/mpc"
+	"repro/internal/mpc/mpctransport"
 )
 
 var (
@@ -72,6 +75,8 @@ var (
 	jobTTLFlag    = flag.Duration("job-ttl", 0, "how long finished async job results stay retrievable (0 = default of 15m)")
 	maxWorkersF   = flag.Int("max-solve-workers", 0, "max per-request workers= parallelism a client may request (0 = default of 64)")
 	pprofFlag     = flag.String("pprof", "", "optional address for the net/http/pprof debug listener (e.g. 127.0.0.1:6060); empty disables it")
+	mpcWorkerFlag = flag.Bool("mpc-worker", false, "run as an MPC transport worker instead of the HTTP daemon: serve the superstep delivery protocol on -addr until SIGINT/SIGTERM")
+	mpcPeersFlag  = flag.String("mpc-workers", "", "comma-separated addresses of bmatchd -mpc-worker processes; when set, MPC supersteps are delivered through them (results stay bit-identical to in-process delivery)")
 )
 
 // servePprof exposes the Go profiling endpoints on their own listener,
@@ -96,8 +101,59 @@ func servePprof(addr string) {
 	}()
 }
 
+// mpcDialer resolves the -mpc-workers flag to a delivery backend: nil
+// (in-process) when unset, otherwise a dialer over the listed worker
+// processes. The pool installs it as the default for every solve.
+func mpcDialer(list string) mpc.TransportFactory {
+	if list == "" {
+		return nil
+	}
+	var addrs []string
+	for _, a := range strings.Split(list, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return nil
+	}
+	return mpctransport.NewDialer(addrs...)
+}
+
+// runMPCWorker is the -mpc-worker mode: no HTTP, no solver pool — just the
+// mpctransport delivery protocol on addr until SIGINT/SIGTERM. A single
+// worker process serves every simulation any number of coordinators throw
+// at it (each simulation is one connection).
+func runMPCWorker(addr string) {
+	w, err := mpctransport.Listen(addr, mpctransport.Limits{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bmatchd:", err)
+		os.Exit(1)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- w.Serve() }()
+	log.Printf("bmatchd MPC worker listening on %s", w.Addr())
+	select {
+	case err := <-errCh:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bmatchd:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop()
+		log.Printf("bmatchd MPC worker shutting down")
+		w.Close()
+	}
+}
+
 func main() {
 	flag.Parse()
+	if *mpcWorkerFlag {
+		runMPCWorker(*addrFlag)
+		return
+	}
 	if *pprofFlag != "" {
 		servePprof(*pprofFlag)
 	}
@@ -106,6 +162,7 @@ func main() {
 		QueueDepth:    *queueFlag,
 		BatchMax:      *batchFlag,
 		SolverWorkers: *solverWFlag,
+		MPCTransport:  mpcDialer(*mpcPeersFlag),
 		DecodeSlots:   *decodeFlag,
 		MaxVertices:   *maxNFlag,
 		MaxEdges:      *maxMFlag,

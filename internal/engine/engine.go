@@ -39,6 +39,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/graphio"
 	"repro/internal/matching"
+	"repro/internal/mpc"
 	"repro/internal/rng"
 	"repro/internal/scratch"
 	"repro/internal/weighted"
@@ -85,6 +86,15 @@ type Spec struct {
 	// served from it nor stored into it (Cache-Control: no-store
 	// semantics), so forced re-solves don't thrash the LRU.
 	NoCache bool
+	// MPCTransport selects the MPC simulator's delivery backend for the
+	// solvers built on it (approx, frac). Nil is the in-process pipeline;
+	// a non-nil factory (e.g. a *mpctransport.Dialer configured by the
+	// daemon's -mpc-workers flag) ships supersteps to external worker
+	// processes. Implementations must be comparable — use a pointer —
+	// because the pool coalesces identical Specs by equality. Backends
+	// are bit-identical by contract, so like Workers this is not part of
+	// the result-cache key.
+	MPCTransport mpc.TransportFactory
 }
 
 // DefaultEps is the approximation slack used when Eps is left zero.
@@ -486,6 +496,7 @@ func solveScratch(ctx context.Context, g *graph.Graph, b graph.Budgets, spec Spe
 	}
 	params.Workers = spec.Workers
 	params.Scratch = ar
+	params.Transport = spec.MPCTransport
 
 	sol := &Solved{}
 	switch spec.Algo {

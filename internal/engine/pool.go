@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/graphio"
+	"repro/internal/mpc"
 )
 
 // ErrQueueFull is returned by Submit when the bounded request queue is at
@@ -45,6 +46,11 @@ type PoolConfig struct {
 	// the HTTP workers= param and bmatch.Request.Workers reach the
 	// drivers.
 	SolverWorkers int
+	// MPCTransport is the MPC delivery backend given to solves whose Spec
+	// leaves MPCTransport nil (that is how the daemon's -mpc-workers flag
+	// reaches every solve). Backends are bit-identical by contract, so the
+	// default changes where supersteps run, never what they produce.
+	MPCTransport mpc.TransportFactory
 	// DecodeSlots bounds concurrent request decodes (default 2 × Workers).
 	DecodeSlots int
 	// MaxVertices and MaxEdges bound accepted instances; the formats
@@ -239,6 +245,9 @@ func (p *Pool) submit(ctx context.Context, inst *Instance, spec Spec, wait bool)
 		// The configured default, not an override: explicit Spec.Workers
 		// (the HTTP workers= param, bmatch.Request.Workers) wins.
 		spec.Workers = p.cfg.SolverWorkers
+	}
+	if spec.MPCTransport == nil {
+		spec.MPCTransport = p.cfg.MPCTransport
 	}
 	j := &job{ctx: ctx, inst: inst, spec: spec, done: make(chan jobDone, 1)}
 	p.mu.Lock()

@@ -57,6 +57,12 @@ type MPCParams struct {
 	// delivery phases (and for the parallel stages of the drivers built on
 	// top). 0 selects GOMAXPROCS. Results are identical for every value.
 	Workers int
+	// Transport selects the simulator's delivery backend. Nil is the
+	// in-process pipeline; a non-nil factory (e.g. mpctransport.Dialer)
+	// routes every superstep's messages through external worker
+	// processes. Results are bit-identical across backends: the
+	// (sender, key, seq) delivery order is the wire spec.
+	Transport mpc.TransportFactory
 	// Scratch, when non-nil, is the caller-owned arena the drivers borrow
 	// their round-local buffers from (engine sessions own one per worker);
 	// nil borrows from the package pool. Purely an allocation knob: results
@@ -157,7 +163,11 @@ func (p *Problem) OneRoundMPCCtx(ctx context.Context, params MPCParams, threshol
 	if extra := (m + n - 1) / maxInt(n, 1); extra > mtot {
 		mtot = extra
 	}
-	sim := mpc.NewSimWithWorkers(mtot, params.Workers)
+	sim, err := mpc.NewSimWithTransport(mtot, params.Workers, params.Transport)
+	if err != nil {
+		return nil, err
+	}
+	defer sim.Close()
 	sim.SetContext(ctx)
 
 	// Input layout (arbitrary initial distribution, as the model allows):

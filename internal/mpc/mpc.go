@@ -9,13 +9,18 @@
 // memory M·S — are exactly what the simulator measures, so the experiment
 // tables report real measurements rather than formula evaluations.
 //
-// End-of-round delivery is itself parallel: senders are sharded across the
-// worker pool, each worker buckets its shard's outboxes per destination,
-// and the shards are merged in sender-id order, so the delivered order is
-// bit-for-bit identical for every worker count. Inbox and outbox buffers
-// are reused across rounds; consequently the slice returned by
-// Machine.Recv is only valid for the duration of the round callback.
-// Slices returned by Exchange are owned by the caller and stay valid.
+// End-of-round delivery is owned by a pluggable Transport whose contract
+// is the deterministic delivery spec: each machine's inbox arrives in
+// (sender, key, seq) total order, with the round's traffic and memory
+// accounting folded into Stats. The default backend is the in-process
+// sharded pipeline (senders sharded across the worker pool, shard regions
+// merged in sender-id order — bit-for-bit identical for every worker
+// count); internal/mpc/mpctransport provides a TCP backend that routes the
+// same rounds through external worker processes with identical results.
+// Inbox and outbox buffers are reused across rounds; consequently the
+// slice returned by Machine.Recv is only valid for the duration of the
+// round callback. Slices returned by Exchange are owned by the caller and
+// stay valid.
 //
 // Memory accounting is hardened: Machine.Release panics when a machine's
 // resident balance would go negative, and Machine.Charge panics on a
@@ -26,7 +31,6 @@ package mpc
 import (
 	"context"
 	"fmt"
-	"sort"
 
 	"repro/internal/par"
 )
@@ -61,25 +65,24 @@ type Sim struct {
 	workers int
 	stats   Stats
 	ctx     context.Context // optional; checked at every superstep boundary
-	err     error           // first observed ctx error; sticky
+	err     error           // first observed ctx or transport error; sticky
 	inbox   [][]Message     // messages delivered at the start of the current round
 
 	resident []int64 // per-machine resident words, maintained via Charge/Release
 
-	machines []*Machine     // reused across rounds (outboxes reset, not reallocated)
-	shards   []deliverShard // per-worker bucketing state, reused across rounds
-	spare    [][]Message    // recycled inbox header array for the next delivery
-	free     [][]Message    // pooled zero-length message buffers
-}
+	machines []*Machine // reused across rounds (outboxes reset, not reallocated)
 
-// deliverShard is one worker's view of the delivery pipeline: the counts,
-// received words, and write cursors for the messages sent by its
-// contiguous range of sender ids.
-type deliverShard struct {
-	lo, hi int     // sender range [lo, hi)
-	count  []int   // per-destination message count from this range
-	words  []int64 // per-destination received words from this range
-	cursor []int   // per-destination write index into the merged inbox
+	// transport routes end-of-round traffic (in-process by default).
+	// traffic, outView, and sentWords are the reused per-round work order
+	// handed to it. empty is the reused all-nil inbox array handed out on
+	// aborted supersteps; shared marks that s.inbox currently aliases it,
+	// so delivery must not recycle it into the buffer pool.
+	transport Transport
+	traffic   RoundTraffic
+	outView   [][]Message
+	sentWords []int64
+	empty     [][]Message
+	shared    bool
 }
 
 // NewSim returns a simulator with n machines. Worker parallelism defaults
@@ -95,6 +98,21 @@ func PoolSize(workers int) int { return par.PoolSize(workers) }
 // delivery phases run on workers goroutines. workers ≤ 0 selects
 // GOMAXPROCS. Results and Stats are identical for every worker count.
 func NewSimWithWorkers(n, workers int) *Sim {
+	s, err := NewSimWithTransport(n, workers, nil)
+	if err != nil {
+		panic(err) // unreachable: the in-process backend cannot fail to build
+	}
+	return s
+}
+
+// NewSimWithTransport returns a simulator whose end-of-round delivery runs
+// on the backend derived from f; a nil factory selects the in-process
+// sharded pipeline. Compute callbacks always run locally on the worker
+// pool — only message routing (and its share of the accounting) moves to
+// the backend, which is what lets one superstep span multiple processes.
+// Results and Stats are bit-identical across backends. The caller owns the
+// simulator's lifetime and must Close it to release backend resources.
+func NewSimWithTransport(n, workers int, f TransportFactory) (*Sim, error) {
 	if n < 1 {
 		panic("mpc: need at least one machine")
 	}
@@ -102,13 +120,29 @@ func NewSimWithWorkers(n, workers int) *Sim {
 	if workers > n {
 		workers = n
 	}
-	return &Sim{
-		n:        n,
-		workers:  workers,
-		inbox:    make([][]Message, n),
-		resident: make([]int64, n),
+	var t Transport
+	if f == nil {
+		t = newInprocTransport(n, workers)
+	} else {
+		var err error
+		t, err = f.NewTransport(n, workers)
+		if err != nil {
+			return nil, err
+		}
 	}
+	return &Sim{
+		n:         n,
+		workers:   workers,
+		inbox:     make([][]Message, n),
+		resident:  make([]int64, n),
+		transport: t,
+	}, nil
 }
+
+// Close releases the transport's resources (network connections for remote
+// backends; a no-op for the in-process pipeline). The simulator must not
+// be used after Close.
+func (s *Sim) Close() error { return s.transport.Close() }
 
 // SetContext attaches ctx to the simulator. Every subsequent Round and
 // Exchange checks it at the superstep boundary; once it is cancelled, all
@@ -121,7 +155,9 @@ func NewSimWithWorkers(n, workers int) *Sim {
 // bit-identical to one that was never cancelled.
 func (s *Sim) SetContext(ctx context.Context) { s.ctx = ctx }
 
-// Err returns the context error that stopped the simulation, or nil.
+// Err returns the error that stopped the simulation — the attached
+// context's error, or a transport failure — or nil. Once set, all further
+// supersteps are skipped.
 func (s *Sim) Err() error { return s.err }
 
 // Machines returns the number of machines.
@@ -202,9 +238,11 @@ func (m *Machine) Release(words int64) {
 func ParallelFor(workers, n int, f func(int)) { par.ParallelFor(workers, n, f) }
 
 // Round executes one superstep: fn runs for every machine in parallel, then
-// queued messages are delivered. It returns after delivery, with all
-// accounting updated. If a context attached via SetContext has been
-// cancelled, the superstep is skipped entirely (see SetContext).
+// queued messages are handed to the transport for delivery. It returns
+// after delivery, with all accounting updated. If a context attached via
+// SetContext has been cancelled, the superstep is skipped entirely (see
+// SetContext); a transport failure likewise stops the simulation and
+// surfaces through Err.
 func (s *Sim) Round(fn func(m *Machine)) {
 	if s.err != nil {
 		return
@@ -220,6 +258,8 @@ func (s *Sim) Round(fn func(m *Machine)) {
 		for i := range s.machines {
 			s.machines[i] = &Machine{ID: i, sim: s}
 		}
+		s.outView = make([][]Message, s.n)
+		s.sentWords = make([]int64, s.n)
 	}
 	for i, m := range s.machines {
 		m.recv = s.inbox[i]
@@ -228,143 +268,57 @@ func (s *Sim) Round(fn func(m *Machine)) {
 		m.seq = 0
 	}
 	ParallelFor(s.workers, s.n, func(i int) { fn(s.machines[i]) })
-	s.deliver()
+	if err := s.deliver(); err != nil {
+		s.err = err
+		s.inbox = s.emptyInbox()
+		s.shared = true
+		return
+	}
 	s.stats.Rounds++
 }
 
-// deliver routes every outbox to its destination inbox. The pipeline is
-// sharded across the worker pool but bit-for-bit deterministic: each worker
-// owns a contiguous ascending range of sender ids, per-destination shard
-// regions are concatenated in worker (= sender) order, and the final
-// per-destination sort is by the total order (sender, key, seq).
-func (s *Sim) deliver() {
-	n := s.n
-	w := s.workers
-	if len(s.shards) < w {
-		s.shards = make([]deliverShard, w)
-		for i := range s.shards {
-			s.shards[i] = deliverShard{
-				count:  make([]int, n),
-				words:  make([]int64, n),
-				cursor: make([]int, n),
-			}
-		}
+// deliver assembles the round's traffic and routes it through the
+// transport. The work order struct is reused across rounds so the
+// transport hand-off itself allocates nothing.
+func (s *Sim) deliver() error {
+	for i, m := range s.machines {
+		s.outView[i] = m.sent
+		s.sentWords[i] = m.sentWords
 	}
-	shards := s.shards[:w]
-	chunk := (n + w - 1) / w
-
-	// Pass 1 (parallel): per-shard destination counts and word totals.
-	ParallelFor(w, w, func(wi int) {
-		sh := &shards[wi]
-		sh.lo = wi * chunk
-		sh.hi = sh.lo + chunk
-		if sh.hi > n {
-			sh.hi = n
-		}
-		for d := 0; d < n; d++ {
-			sh.count[d] = 0
-			sh.words[d] = 0
-		}
-		for sender := sh.lo; sender < sh.hi; sender++ {
-			for i := range s.machines[sender].sent {
-				msg := &s.machines[sender].sent[i]
-				sh.count[msg.To]++
-				sh.words[msg.To] += msg.Words
-			}
-		}
-	})
-
-	// Merge (serial, O(workers·n)): size each destination's inbox exactly,
-	// hand every shard its write region, and fold the round's accounting
-	// (traffic, per-machine IO, resident high-water) into the same scan —
-	// there is no separate accounting pass.
-	prev := s.inbox
-	next := s.spare
-	if next == nil {
-		next = make([][]Message, n)
+	recycle := s.inbox
+	if s.shared {
+		// s.inbox aliases the shared empty array; recycling it would let
+		// the transport write delivered messages into the array that
+		// emptyInbox hands out as permanently empty.
+		recycle = nil
 	}
-	s.spare = nil
-	for d := 0; d < n; d++ {
-		total := 0
-		var rw int64
-		for wi := range shards {
-			shards[wi].cursor[d] = total
-			total += shards[wi].count[d]
-			rw += shards[wi].words[d]
-		}
-		next[d] = s.grab(total)
-		s.stats.TotalTraffic += rw
-		if io := s.machines[d].sentWords + rw; io > s.stats.MaxRoundIO {
-			s.stats.MaxRoundIO = io
-		}
-		if res := s.resident[d] + rw; res > s.stats.MaxMachineWords {
-			s.stats.MaxMachineWords = res
-		}
+	s.traffic = RoundTraffic{
+		N:         s.n,
+		Ctx:       s.ctx,
+		Outbox:    s.outView,
+		SentWords: s.sentWords,
+		Resident:  s.resident,
+		Stats:     &s.stats,
+		Recycle:   recycle,
 	}
-
-	// Pass 2 (parallel): scatter messages into the disjoint shard regions.
-	ParallelFor(w, w, func(wi int) {
-		sh := &shards[wi]
-		for sender := sh.lo; sender < sh.hi; sender++ {
-			for _, msg := range s.machines[sender].sent {
-				next[msg.To][sh.cursor[msg.To]] = msg
-				sh.cursor[msg.To]++
-			}
-		}
-	})
-
-	// Pass 3 (parallel): per-destination inbox sorts into the documented
-	// (sender, key, send order) total order.
-	ParallelFor(w, n, func(d int) {
-		box := next[d]
-		if len(box) < 2 {
-			return
-		}
-		sort.Slice(box, func(i, j int) bool {
-			if box[i].From != box[j].From {
-				return box[i].From < box[j].From
-			}
-			if box[i].Key != box[j].Key {
-				return box[i].Key < box[j].Key
-			}
-			return box[i].Seq < box[j].Seq
-		})
-	})
-
-	// Recycle the inboxes consumed this round and keep their header array
-	// for the next delivery. Slices handed out by Exchange never return
-	// here: Exchange replaces both the header array and the buffers.
-	// Pooled buffers are cleared to their full capacity so stale Payload
-	// references don't pin the previous round's data until reuse.
-	for i, buf := range prev {
-		if cap(buf) > 0 && len(s.free) < 2*n {
-			buf = buf[:cap(buf)]
-			clear(buf)
-			s.free = append(s.free, buf[:0])
-		}
-		prev[i] = nil
+	next, err := s.transport.Deliver(&s.traffic)
+	if err != nil {
+		return err
 	}
-	s.spare = prev
 	s.inbox = next
+	s.shared = false
+	return nil
 }
 
-// grab returns a message buffer of length n, reusing pooled capacity when
-// possible. Elements are uninitialized; the delivery passes overwrite all
-// of them.
-func (s *Sim) grab(n int) []Message {
-	if n == 0 {
-		return nil
+// emptyInbox returns the reused all-nil inbox header array handed out on
+// aborted supersteps. Sharing one array is safe because every entry is
+// permanently nil: callers only ever read it, and it is never recycled
+// into the delivery pool (see deliver), so nothing is ever written to it.
+func (s *Sim) emptyInbox() [][]Message {
+	if s.empty == nil {
+		s.empty = make([][]Message, s.n)
 	}
-	for i := len(s.free) - 1; i >= 0; i-- {
-		if cap(s.free[i]) >= n {
-			buf := s.free[i][:n]
-			s.free[i] = s.free[len(s.free)-1]
-			s.free[len(s.free)-1] = nil
-			s.free = s.free[:len(s.free)-1]
-			return buf
-		}
-	}
-	return make([]Message, n)
+	return s.empty
 }
 
 // Exchange runs one superstep like Round and additionally returns the
@@ -376,11 +330,15 @@ func (s *Sim) Exchange(fn func(m *Machine)) [][]Message {
 	s.Round(fn)
 	if s.err != nil {
 		// Cancelled before the superstep ran: nothing was delivered. Hand
-		// back empty inboxes so callers that process before checking Err see
-		// no phantom messages.
-		return make([][]Message, s.n)
+		// back the reused empty inbox array so callers that process before
+		// checking Err see no phantom messages — without a fresh allocation
+		// per call, so cancelled driver loops don't churn the heap.
+		return s.emptyInbox()
 	}
 	out := s.inbox
+	// The replacement header array is sim-owned and recyclable next round;
+	// the stolen one never re-enters the pool because it is no longer
+	// s.inbox.
 	s.inbox = make([][]Message, s.n)
 	return out
 }

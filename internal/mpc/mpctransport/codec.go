@@ -1,0 +1,290 @@
+// Package mpctransport is the TCP backend for the MPC simulator's
+// Transport interface: a coordinator (the process running the algorithm)
+// ships each round's messages to worker processes over length-prefixed
+// frames, the workers bucket and sort their machine ranges into the
+// (sender, key, seq) delivery order, and the coordinator reassembles the
+// inboxes and folds the accounting — so one superstep spans multiple
+// processes while plans and Stats stay bit-identical to the in-process
+// backend.
+//
+// # Wire format
+//
+// Every frame is a big-endian uint32 length followed by that many body
+// bytes; body[0] is the frame tag. A connection serves one simulation:
+// the coordinator opens with a hello frame binding the worker to a
+// contiguous machine range [lo, hi) of an n-machine cluster, then sends
+// one round frame per superstep and reads one inbox frame back. Closing
+// the connection ends the simulation; there is no other teardown
+// handshake, which is what makes cancellation (close the socket) safe at
+// any point.
+//
+// Messages travel as varint-packed headers (From, To, zigzag Key, Seq,
+// Words) plus a tagged payload. The codec carries exactly the packed
+// payload shapes the hot solver paths use — []int32, []int64, and the
+// int/int32/int64/float64 scalars — and refuses anything else at encode
+// time: `Payload any` never crosses the wire, so a payload that would not
+// round-trip bit-exactly is a loud error instead of a silent divergence.
+//
+// Decoding is hardened in the graphio.Limits style: frame lengths are
+// bounded before the body is read, and slice payload counts are checked
+// against the bytes actually present before any allocation, so a
+// malformed or hostile peer cannot force allocation blow-ups.
+package mpctransport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/mpc"
+)
+
+// Frame tags.
+const (
+	frameHello byte = 'H' // coordinator → worker: n, lo, hi
+	frameRound byte = 'R' // coordinator → worker: the round's messages for [lo, hi)
+	frameInbox byte = 'I' // worker → coordinator: sorted inboxes for [lo, hi)
+	frameError byte = 'E' // worker → coordinator: protocol failure description
+)
+
+// Payload tags.
+const (
+	payNil     byte = 0
+	payInt64   byte = 1
+	payInt     byte = 2
+	payInt32   byte = 3
+	payFloat64 byte = 4
+	paySliI32  byte = 5
+	paySliI64  byte = 6
+)
+
+// DefaultMaxFrameBytes bounds one frame (one direction of one round for
+// one worker) when Limits leaves MaxFrameBytes zero.
+const DefaultMaxFrameBytes = 1 << 30
+
+// Limits bounds what either side of the protocol will accept, mirroring
+// graphio.Limits: counts are validated against the bytes actually present
+// before anything is allocated. The zero value selects the defaults.
+type Limits struct {
+	// MaxFrameBytes caps a single frame's declared body length (default
+	// DefaultMaxFrameBytes). Frames above it are rejected before the body
+	// is read.
+	MaxFrameBytes int
+}
+
+func (l Limits) maxFrame() int {
+	if l.MaxFrameBytes > 0 {
+		return l.MaxFrameBytes
+	}
+	return DefaultMaxFrameBytes
+}
+
+var (
+	errMalformed = errors.New("mpctransport: malformed frame")
+	errTruncated = errors.New("mpctransport: truncated frame")
+)
+
+// minMessageBytes is the smallest possible encoded message (five
+// single-byte varints plus the payload tag). Claimed message counts are
+// checked against remaining/minMessageBytes before allocating inboxes.
+const minMessageBytes = 6
+
+// appendMessage encodes m onto dst. It fails on payload shapes outside
+// the codec's closed set — the wire spec is packed []int32/[]int64 and
+// scalars, never `any`.
+func appendMessage(dst []byte, m *mpc.Message) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, uint64(m.From))
+	dst = binary.AppendUvarint(dst, uint64(m.To))
+	dst = binary.AppendVarint(dst, m.Key)
+	dst = binary.AppendUvarint(dst, uint64(m.Seq))
+	dst = binary.AppendUvarint(dst, uint64(m.Words))
+	switch p := m.Payload.(type) {
+	case nil:
+		dst = append(dst, payNil)
+	case int64:
+		dst = append(dst, payInt64)
+		dst = binary.AppendVarint(dst, p)
+	case int:
+		dst = append(dst, payInt)
+		dst = binary.AppendVarint(dst, int64(p))
+	case int32:
+		dst = append(dst, payInt32)
+		dst = binary.AppendVarint(dst, int64(p))
+	case float64:
+		dst = append(dst, payFloat64)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(p))
+	case []int32:
+		dst = append(dst, paySliI32)
+		dst = binary.AppendUvarint(dst, uint64(len(p)))
+		for _, v := range p {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(v))
+		}
+	case []int64:
+		dst = append(dst, paySliI64)
+		dst = binary.AppendUvarint(dst, uint64(len(p)))
+		for _, v := range p {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+		}
+	default:
+		return nil, fmt.Errorf("mpctransport: unsupported payload type %T (the wire codec carries packed []int32/[]int64 and int/int32/int64/float64 scalars only)", m.Payload)
+	}
+	return dst, nil
+}
+
+// uvarint reads one unsigned varint, rejecting malformed and overlong
+// encodings, and values that do not fit a non-negative int64.
+func uvarint(b []byte) (int64, []byte, error) {
+	v, k := binary.Uvarint(b)
+	if k <= 0 || v > math.MaxInt64 {
+		return 0, nil, errMalformed
+	}
+	return int64(v), b[k:], nil
+}
+
+// varint reads one zigzag varint.
+func varint(b []byte) (int64, []byte, error) {
+	v, k := binary.Varint(b)
+	if k <= 0 {
+		return 0, nil, errMalformed
+	}
+	return v, b[k:], nil
+}
+
+// decodeMessage decodes one message off src, returning the remainder.
+// Slice payload counts are validated against the bytes actually present
+// before the slice is allocated, so a tiny hostile frame cannot declare a
+// giant payload.
+func decodeMessage(src []byte) (mpc.Message, []byte, error) {
+	var m mpc.Message
+	var err error
+	var v int64
+	if v, src, err = uvarint(src); err != nil {
+		return m, nil, err
+	}
+	m.From = int(v)
+	if v, src, err = uvarint(src); err != nil {
+		return m, nil, err
+	}
+	m.To = int(v)
+	if m.Key, src, err = varint(src); err != nil {
+		return m, nil, err
+	}
+	if m.Seq, src, err = uvarint(src); err != nil {
+		return m, nil, err
+	}
+	if m.Words, src, err = uvarint(src); err != nil {
+		return m, nil, err
+	}
+	if len(src) == 0 {
+		return m, nil, errTruncated
+	}
+	tag := src[0]
+	src = src[1:]
+	switch tag {
+	case payNil:
+	case payInt64:
+		if v, src, err = varint(src); err != nil {
+			return m, nil, err
+		}
+		m.Payload = v
+	case payInt:
+		if v, src, err = varint(src); err != nil {
+			return m, nil, err
+		}
+		m.Payload = int(v)
+	case payInt32:
+		if v, src, err = varint(src); err != nil {
+			return m, nil, err
+		}
+		if v < math.MinInt32 || v > math.MaxInt32 {
+			return m, nil, errMalformed
+		}
+		m.Payload = int32(v)
+	case payFloat64:
+		if len(src) < 8 {
+			return m, nil, errTruncated
+		}
+		m.Payload = math.Float64frombits(binary.LittleEndian.Uint64(src))
+		src = src[8:]
+	case paySliI32:
+		if v, src, err = uvarint(src); err != nil {
+			return m, nil, err
+		}
+		if v > int64(len(src)/4) {
+			return m, nil, errTruncated // claimed count exceeds present bytes
+		}
+		p := make([]int32, v)
+		for i := range p {
+			p[i] = int32(binary.LittleEndian.Uint32(src))
+			src = src[4:]
+		}
+		m.Payload = p
+	case paySliI64:
+		if v, src, err = uvarint(src); err != nil {
+			return m, nil, err
+		}
+		if v > int64(len(src)/8) {
+			return m, nil, errTruncated
+		}
+		p := make([]int64, v)
+		for i := range p {
+			p[i] = int64(binary.LittleEndian.Uint64(src))
+			src = src[8:]
+		}
+		m.Payload = p
+	default:
+		return m, nil, fmt.Errorf("mpctransport: unknown payload tag %d", tag)
+	}
+	return m, src, nil
+}
+
+// appendUvarintLen encodes a non-negative length or count.
+func appendUvarintLen(dst []byte, n int) []byte {
+	return binary.AppendUvarint(dst, uint64(n))
+}
+
+// beginFrame resets buf to a frame skeleton: 4 reserved length bytes plus
+// the tag. finishFrame stamps the length once the body is complete.
+func beginFrame(buf []byte, tag byte) []byte {
+	return append(buf[:0], 0, 0, 0, 0, tag)
+}
+
+// finishFrame stamps the big-endian body length into the reserved prefix.
+func finishFrame(buf []byte) ([]byte, error) {
+	body := len(buf) - 4
+	if body < 1 || body > math.MaxUint32 {
+		return nil, fmt.Errorf("mpctransport: frame body of %d bytes out of range", body)
+	}
+	binary.BigEndian.PutUint32(buf[:4], uint32(body))
+	return buf, nil
+}
+
+// readFrame reads one length-prefixed frame into buf (grown as needed),
+// enforcing the frame-size limit before the body is read. It returns the
+// tag, the body after the tag, and the (possibly grown) scratch buffer.
+func readFrame(r io.Reader, buf []byte, lim Limits) (byte, []byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, buf, err
+	}
+	size := int(binary.BigEndian.Uint32(hdr[:]))
+	if size < 1 {
+		return 0, nil, buf, errMalformed
+	}
+	if size > lim.maxFrame() {
+		return 0, nil, buf, fmt.Errorf("mpctransport: frame of %d bytes exceeds limit %d", size, lim.maxFrame())
+	}
+	if cap(buf) < size {
+		buf = make([]byte, size)
+	}
+	buf = buf[:size]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, buf, err
+	}
+	return buf[0], buf[1:], buf, nil
+}

@@ -1,0 +1,189 @@
+package mpctransport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/mpc"
+)
+
+// codecShapes is one message per payload shape the wire carries, with
+// adversarial header values (negative keys, large seq/words).
+func codecShapes() []mpc.Message {
+	return []mpc.Message{
+		{From: 0, To: 1, Key: 0, Seq: 0, Words: 0, Payload: nil},
+		{From: 3, To: 7, Key: -42, Seq: 9, Words: 2, Payload: int64(math.MinInt64)},
+		{From: 1, To: 0, Key: math.MaxInt64, Seq: 1, Words: 1, Payload: int(-7)},
+		{From: 2, To: 2, Key: math.MinInt64, Seq: 2, Words: 1, Payload: int32(math.MinInt32)},
+		{From: 5, To: 4, Key: 17, Seq: 3, Words: 1, Payload: float64(-0.0)},
+		{From: 6, To: 5, Key: 1, Seq: 4, Words: 1, Payload: math.Inf(-1)},
+		{From: 9, To: 8, Key: 2, Seq: 5, Words: 3, Payload: []int32{}},
+		{From: 10, To: 9, Key: 3, Seq: 6, Words: 3, Payload: []int32{math.MinInt32, -1, 0, 1, math.MaxInt32}},
+		{From: 11, To: 10, Key: 4, Seq: 7, Words: 4, Payload: []int64{}},
+		{From: 12, To: 11, Key: 5, Seq: 8, Words: 4, Payload: []int64{math.MinInt64, -1, 0, 1, math.MaxInt64}},
+	}
+}
+
+func TestMessageRoundTripAllShapes(t *testing.T) {
+	for _, want := range codecShapes() {
+		enc, err := appendMessage(nil, &want)
+		if err != nil {
+			t.Fatalf("encode %#v: %v", want, err)
+		}
+		got, rest, err := decodeMessage(enc)
+		if err != nil {
+			t.Fatalf("decode %#v: %v", want, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("decode %#v left %d bytes", want, len(rest))
+		}
+		// Empty slices may round-trip as empty non-nil; normalize before
+		// the deep comparison, everything else must be exact.
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip mismatch:\n got %#v\nwant %#v", got, want)
+		}
+	}
+}
+
+func TestMessageRoundTripNaN(t *testing.T) {
+	want := mpc.Message{From: 1, To: 2, Key: 3, Seq: 4, Words: 1, Payload: math.NaN()}
+	enc, err := appendMessage(nil, &want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := decodeMessage(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb := math.Float64bits(got.Payload.(float64))
+	wb := math.Float64bits(want.Payload.(float64))
+	if gb != wb {
+		t.Fatalf("NaN bits changed: %x != %x", gb, wb)
+	}
+}
+
+func TestEncodeRejectsUnsupportedPayloads(t *testing.T) {
+	for _, payload := range []any{
+		"string",
+		struct{ A int }{1},
+		[]float64{1, 2},
+		[2]int64{1, 2},
+		map[int]int{},
+		&struct{}{},
+	} {
+		m := mpc.Message{From: 0, To: 1, Payload: payload}
+		if _, err := appendMessage(nil, &m); err == nil {
+			t.Fatalf("payload %T crossed the wire", payload)
+		}
+	}
+}
+
+// Every strict prefix of a valid encoding must fail cleanly — no panic,
+// no allocation proportional to anything but the input.
+func TestDecodeRejectsTruncation(t *testing.T) {
+	for _, want := range codecShapes() {
+		enc, err := appendMessage(nil, &want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(enc); cut++ {
+			if _, _, err := decodeMessage(enc[:cut]); err == nil {
+				t.Fatalf("prefix of %d/%d bytes decoded for %#v", cut, len(enc), want)
+			}
+		}
+	}
+}
+
+// A frame may claim a giant slice while carrying a few bytes; the decoder
+// must reject it by comparing the claim against the bytes present instead
+// of allocating the claim.
+func TestDecodeRejectsOversizedSliceClaim(t *testing.T) {
+	for _, tag := range []byte{paySliI32, paySliI64} {
+		var enc []byte
+		m := mpc.Message{From: 1, To: 2, Key: 3, Seq: 4, Words: 5}
+		enc = binary.AppendUvarint(enc, uint64(m.From))
+		enc = binary.AppendUvarint(enc, uint64(m.To))
+		enc = binary.AppendVarint(enc, m.Key)
+		enc = binary.AppendUvarint(enc, uint64(m.Seq))
+		enc = binary.AppendUvarint(enc, uint64(m.Words))
+		enc = append(enc, tag)
+		enc = binary.AppendUvarint(enc, 1<<40) // claims ~8 TiB of elements
+		enc = append(enc, 0, 0, 0, 0)
+		if _, _, err := decodeMessage(enc); err == nil {
+			t.Fatalf("tag %d: oversized claim decoded", tag)
+		}
+	}
+}
+
+func TestReadFrameRejectsOversizeAndZero(t *testing.T) {
+	lim := Limits{MaxFrameBytes: 64}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 65)
+	if _, _, _, err := readFrame(bytes.NewReader(hdr[:]), nil, lim); err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+	binary.BigEndian.PutUint32(hdr[:], 0)
+	if _, _, _, err := readFrame(bytes.NewReader(hdr[:]), nil, lim); err == nil {
+		t.Fatal("zero-length frame accepted")
+	}
+	// A frame within the limit but with a short body must be an error,
+	// not a hang or a partial read.
+	binary.BigEndian.PutUint32(hdr[:], 10)
+	if _, _, _, err := readFrame(bytes.NewReader(append(hdr[:], 1, 2, 3)), nil, lim); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}
+
+// FuzzCodec mirrors graphio's FuzzRead: arbitrary bytes must never panic
+// the decoder, and anything that decodes must re-encode and re-decode to
+// the same message (the round-trip is the wire contract).
+func FuzzCodec(f *testing.F) {
+	for _, m := range codecShapes() {
+		enc, err := appendMessage(nil, &m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, rest, err := decodeMessage(data)
+		if err != nil {
+			return
+		}
+		enc, err := appendMessage(nil, &m)
+		if err != nil {
+			// Decoded messages carry only codec-supported payloads, so
+			// re-encoding cannot fail.
+			t.Fatalf("re-encode of decoded message failed: %v", err)
+		}
+		m2, rest2, err := decodeMessage(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(rest2) != 0 {
+			t.Fatalf("re-decode left %d bytes", len(rest2))
+		}
+		if !messagesEquivalent(m, m2) {
+			t.Fatalf("round trip changed message:\n got %#v\nwant %#v", m2, m)
+		}
+		_ = rest
+	})
+}
+
+// messagesEquivalent is DeepEqual modulo float NaN (compared by bits).
+func messagesEquivalent(a, b mpc.Message) bool {
+	fa, aok := a.Payload.(float64)
+	fb, bok := b.Payload.(float64)
+	if aok && bok {
+		if math.Float64bits(fa) != math.Float64bits(fb) {
+			return false
+		}
+		a.Payload, b.Payload = nil, nil
+	}
+	return reflect.DeepEqual(a, b)
+}

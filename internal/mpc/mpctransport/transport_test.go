@@ -1,0 +1,323 @@
+package mpctransport
+
+import (
+	"context"
+	"errors"
+	"net"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/mpc"
+)
+
+// startWorkers launches k worker servers on loopback and returns their
+// addresses. Cleanup closes them and verifies every coordinator
+// connection was released.
+func startWorkers(t *testing.T, k int) ([]string, []*Worker) {
+	t.Helper()
+	addrs := make([]string, k)
+	workers := make([]*Worker, k)
+	for i := 0; i < k; i++ {
+		w, err := Listen("127.0.0.1:0", Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go w.Serve()
+		addrs[i] = w.Addr().String()
+		workers[i] = w
+		t.Cleanup(func() { w.Close() })
+	}
+	return addrs, workers
+}
+
+// waitReleased polls until every worker reports zero active connections.
+func waitReleased(t *testing.T, workers []*Worker) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		active := int64(0)
+		for _, w := range workers {
+			active += w.ActiveConns()
+		}
+		if active == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d worker connections still open", active)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// runScript drives a deterministic multi-round, multi-shape message
+// pattern on a fresh Sim over the given backend and returns the full
+// inbox transcript plus final stats. The pattern exercises every wire
+// payload shape, fan-in (many senders, one destination), fan-out, empty
+// rounds, and resident accounting.
+func runScript(t *testing.T, n, simWorkers, rounds int, factory mpc.TransportFactory) ([][][]mpc.Message, mpc.Stats) {
+	t.Helper()
+	sim, err := mpc.NewSimWithTransport(n, simWorkers, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	var transcript [][][]mpc.Message
+	for r := 0; r < rounds; r++ {
+		round := r
+		inbox := sim.Exchange(func(m *mpc.Machine) {
+			if round == 0 {
+				m.Charge(int64(m.ID + 1))
+			}
+			if round == 2 {
+				return // an all-quiet round must also be identical
+			}
+			// Fan-out with slice payloads.
+			for j := 0; j < 3; j++ {
+				to := (m.ID*7 + j*13 + round) % n
+				m.Send(to, int64(j-1), []int32{int32(m.ID), int32(round), int32(-j)}, 3)
+				m.Send(to, int64(j-1), []int64{int64(m.ID) << 33, -int64(round)}, 2)
+			}
+			// Fan-in of scalars onto one machine, colliding keys so the
+			// (sender, key, seq) order does the tie-breaking.
+			m.Send(round%n, 5, int64(m.ID)*3, 1)
+			m.Send(round%n, 5, int32(m.ID), 1)
+			m.Send(round%n, 5, float64(m.ID)/3, 1)
+			m.Send(round%n, 5, m.ID, 1)
+			m.Send(round%n, 5, nil, 0)
+		})
+		if err := sim.Err(); err != nil {
+			t.Fatal(err)
+		}
+		transcript = append(transcript, inbox)
+	}
+	return transcript, sim.Stats()
+}
+
+// TestSimBitIdenticalAcrossBackends is the flagship contract check at the
+// simulator level: the same script over the in-process backend and over
+// loopback TCP with 2 and 3 worker processes yields byte-for-byte equal
+// inbox transcripts and equal Stats, across coordinator worker counts.
+func TestSimBitIdenticalAcrossBackends(t *testing.T) {
+	const n, rounds = 13, 5
+	wantTr, wantStats := runScript(t, n, 1, rounds, nil)
+
+	for _, simWorkers := range []int{1, 4} {
+		tr, stats := runScript(t, n, simWorkers, rounds, nil)
+		if !reflect.DeepEqual(tr, wantTr) || stats != wantStats {
+			t.Fatalf("in-process backend diverged at %d sim workers", simWorkers)
+		}
+	}
+	for _, nw := range []int{2, 3} {
+		addrs, workers := startWorkers(t, nw)
+		for _, simWorkers := range []int{1, 4} {
+			tr, stats := runScript(t, n, simWorkers, rounds, NewDialer(addrs...))
+			if stats != wantStats {
+				t.Errorf("tcp backend (%d workers, %d sim workers): stats %+v, want %+v", nw, simWorkers, stats, wantStats)
+			}
+			if !reflect.DeepEqual(tr, wantTr) {
+				t.Errorf("tcp backend (%d workers, %d sim workers): transcript diverged", nw, simWorkers)
+			}
+		}
+		waitReleased(t, workers)
+	}
+}
+
+// TestTCPBackendMoreWorkersThanMachines pins the degenerate split: more
+// worker processes than machines must still cover [0, n) exactly once.
+func TestTCPBackendMoreWorkersThanMachines(t *testing.T) {
+	addrs, workers := startWorkers(t, 3)
+	wantTr, wantStats := runScript(t, 2, 1, 3, nil)
+	tr, stats := runScript(t, 2, 1, 3, NewDialer(addrs...))
+	if stats != wantStats || !reflect.DeepEqual(tr, wantTr) {
+		t.Fatal("2-machine sim over 3 workers diverged from in-process")
+	}
+	waitReleased(t, workers)
+}
+
+// TestUnsupportedPayloadFailsLoudly: a payload outside the codec's closed
+// set must abort the simulation with an error, never silently diverge.
+func TestUnsupportedPayloadFailsLoudly(t *testing.T) {
+	addrs, workers := startWorkers(t, 2)
+	sim, err := mpc.NewSimWithTransport(4, 1, NewDialer(addrs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	sim.Round(func(m *mpc.Machine) {
+		m.Send((m.ID+1)%4, 0, "not wire-safe", 1)
+	})
+	if sim.Err() == nil {
+		t.Fatal("string payload crossed the wire without error")
+	}
+	sim.Close()
+	waitReleased(t, workers)
+}
+
+// countCtx reports Canceled after its Err has been consulted limit times —
+// the checkpoint-counting technique from engine's
+// TestCancelMidSolveSemantics, here aimed at superstep boundaries.
+type countCtx struct {
+	calls atomic.Int64
+	limit int64
+}
+
+func (c *countCtx) Err() error {
+	if c.calls.Add(1) > c.limit {
+		return context.Canceled
+	}
+	return nil
+}
+func (c *countCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *countCtx) Done() <-chan struct{}       { return nil }
+func (c *countCtx) Value(any) any               { return nil }
+
+// TestCancelOverNetwork cancels mid-simulation with a live TCP backend at
+// every possible checkpoint and asserts the contract: the sim stops with
+// context.Canceled, skips all remaining supersteps, the worker
+// connections are released, and a fresh uncancelled run over the same
+// workers is bit-identical to the in-process result.
+func TestCancelOverNetwork(t *testing.T) {
+	const n, rounds = 7, 4
+	addrs, workers := startWorkers(t, 2)
+	wantTr, wantStats := runScript(t, n, 1, rounds, nil)
+
+	for limit := int64(1); ; limit++ {
+		cc := &countCtx{limit: limit}
+		sim, err := mpc.NewSimWithTransport(n, 1, NewDialer(addrs...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.SetContext(cc)
+		completed := 0
+		for r := 0; r < rounds; r++ {
+			round := r
+			sim.Exchange(func(m *mpc.Machine) {
+				m.Send((m.ID+round)%n, 0, []int64{int64(m.ID)}, 1)
+			})
+			if sim.Err() == nil {
+				completed++
+			}
+		}
+		err = sim.Err()
+		sim.Close()
+		if err == nil {
+			// limit outgrew the number of checkpoints: every round ran.
+			if completed != rounds {
+				t.Fatalf("limit %d: no error but only %d/%d rounds ran", limit, completed, rounds)
+			}
+			break
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("limit %d: err = %v, want context.Canceled", limit, err)
+		}
+		if completed == rounds {
+			t.Fatalf("limit %d: cancelled sim completed all rounds", limit)
+		}
+		waitReleased(t, workers)
+	}
+
+	// The workers survived every cancellation; a clean re-run through them
+	// is still bit-identical.
+	tr, stats := runScript(t, n, 1, rounds, NewDialer(addrs...))
+	if stats != wantStats || !reflect.DeepEqual(tr, wantTr) {
+		t.Fatal("post-cancellation re-run diverged from in-process result")
+	}
+	waitReleased(t, workers)
+}
+
+// TestCancelMidDeliverTearsDownConnection pins the AfterFunc path: a
+// worker that accepts the round but never replies would block Deliver
+// forever; cancelling the real context must sever the connection and
+// surface context.Canceled promptly.
+func TestCancelMidDeliverTearsDownConnection(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			// Swallow everything, never answer.
+			go func() {
+				buf := make([]byte, 4096)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						conn.Close()
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	sim, err := mpc.NewSimWithTransport(4, 1, NewDialer(ln.Addr().String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	sim.SetContext(ctx)
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sim.Round(func(m *mpc.Machine) {
+			m.Send((m.ID+1)%4, 0, int64(1), 1)
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Round still blocked 10s after cancellation")
+	}
+	if err := sim.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sim.Err() = %v, want context.Canceled", err)
+	}
+}
+
+func TestDialerErrors(t *testing.T) {
+	if _, err := (&Dialer{}).NewTransport(4, 1); err == nil {
+		t.Fatal("empty dialer produced a transport")
+	}
+	// A dead address must fail the dial, not hang.
+	d := &Dialer{Addrs: []string{"127.0.0.1:1"}, DialTimeout: 200 * time.Millisecond}
+	if _, err := d.NewTransport(4, 1); err == nil {
+		t.Fatal("dial to dead address succeeded")
+	}
+}
+
+// TestWorkerRejectsGarbage: a client speaking nonsense must get
+// disconnected without wedging the worker for real coordinators.
+func TestWorkerRejectsGarbage(t *testing.T) {
+	addrs, workers := startWorkers(t, 1)
+	conn, err := net.Dial("tcp", addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte{0, 0, 0, 2, frameRound, 1}) // round before hello
+	buf := make([]byte, 256)
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	// The worker answers with an error frame and closes.
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatalf("expected an error frame before close, got %v", err)
+	}
+	conn.Close()
+	waitReleased(t, workers)
+
+	// The worker still serves a normal simulation afterwards.
+	tr, stats := runScript(t, 3, 1, 2, NewDialer(addrs[0]))
+	wantTr, wantStats := runScript(t, 3, 1, 2, nil)
+	if stats != wantStats || !reflect.DeepEqual(tr, wantTr) {
+		t.Fatal("worker diverged after serving a garbage client")
+	}
+	waitReleased(t, workers)
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/mpc"
 	"repro/internal/rng"
 	"repro/internal/stream"
 )
@@ -64,6 +65,14 @@ type Request struct {
 	// (neither served from it nor stored into it). One-shot Solve calls
 	// never touch a cache, so it is a no-op there.
 	NoCache bool
+	// MPCTransport selects the MPC simulator's delivery backend for the
+	// solvers built on it (AlgoApprox, AlgoFrac). Nil is the in-process
+	// pipeline; a non-nil factory (e.g. mpctransport.NewDialer over
+	// `bmatchd -mpc-worker` processes) ships every superstep's messages to
+	// external worker processes. Backends are bit-identical by contract —
+	// like Workers, this changes where the solve runs, never its result.
+	// Implementations must be comparable (use a pointer type).
+	MPCTransport mpc.TransportFactory
 	// Progress, when non-nil, is invoked with a sample at solver
 	// checkpoints (round, superstep, sweep, and stream-pass boundaries).
 	// It runs synchronously on solver goroutines, so it must be fast;
@@ -93,6 +102,7 @@ func (r Request) spec() (engine.Spec, error) {
 		Workers:        r.Workers,
 		PaperConstants: r.PaperConstants,
 		NoCache:        r.NoCache,
+		MPCTransport:   r.MPCTransport,
 	}
 	if err := spec.Validate(); err != nil {
 		return spec, fmt.Errorf("bmatch: %w", err)
