@@ -53,15 +53,17 @@ func (d *Dialer) NewTransport(n, workers int) (mpc.Transport, error) {
 	if w > n {
 		w = n
 	}
-	chunk := (n + w - 1) / w
 	timeout := d.DialTimeout
 	if timeout <= 0 {
 		timeout = DefaultDialTimeout
 	}
 	t := &transport{n: n, limits: d.Limits}
 	for i := 0; i < w; i++ {
-		lo := i * chunk
-		hi := min(lo+chunk, n)
+		// Balanced split: with w <= n every range is non-empty, which a
+		// ceil-sized chunking does not guarantee (n=4 over 3 workers would
+		// leave the last worker the empty [4, 4), which parseHello rejects).
+		lo := i * n / w
+		hi := (i + 1) * n / w
 		conn, err := net.DialTimeout("tcp", d.Addrs[i], timeout)
 		if err != nil {
 			t.teardown()

@@ -136,6 +136,23 @@ func TestTCPBackendMoreWorkersThanMachines(t *testing.T) {
 	waitReleased(t, workers)
 }
 
+// TestTCPBackendUnevenSplit is the regression test for the empty-range
+// bug: a ceil-sized chunking of n=4 machines over 3 workers produced
+// [0,2) [2,4) [4,4), and the worker rejected the empty hello range,
+// aborting the whole simulation. The balanced split must hand every
+// worker a non-empty range for any n >= number of workers.
+func TestTCPBackendUnevenSplit(t *testing.T) {
+	addrs, workers := startWorkers(t, 3)
+	for _, n := range []int{4, 5, 7} {
+		wantTr, wantStats := runScript(t, n, 1, 3, nil)
+		tr, stats := runScript(t, n, 1, 3, NewDialer(addrs...))
+		if stats != wantStats || !reflect.DeepEqual(tr, wantTr) {
+			t.Fatalf("n=%d over 3 workers diverged from in-process", n)
+		}
+	}
+	waitReleased(t, workers)
+}
+
 // TestUnsupportedPayloadFailsLoudly: a payload outside the codec's closed
 // set must abort the simulation with an error, never silently diverge.
 func TestUnsupportedPayloadFailsLoudly(t *testing.T) {

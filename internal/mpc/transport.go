@@ -214,7 +214,9 @@ func (t *inprocTransport) Deliver(tr *RoundTraffic) ([][]Message, error) {
 
 	// Recycle the inboxes consumed this round and keep their header array
 	// for the next delivery. Slices handed out by Exchange never come back
-	// here: the Sim passes a nil Recycle after an Exchange steals them.
+	// here: Exchange replaces s.inbox with a freshly allocated header
+	// array (all-nil entries), and that replacement is what arrives as the
+	// next Recycle — the stolen buffers themselves are gone for good.
 	// Pooled buffers are cleared to their full capacity so stale Payload
 	// references don't pin the previous round's data until reuse.
 	if prev := tr.Recycle; prev != nil {

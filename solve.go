@@ -66,12 +66,16 @@ type Request struct {
 	// never touch a cache, so it is a no-op there.
 	NoCache bool
 	// MPCTransport selects the MPC simulator's delivery backend for the
-	// solvers built on it (AlgoApprox, AlgoFrac). Nil is the in-process
-	// pipeline; a non-nil factory (e.g. mpctransport.NewDialer over
-	// `bmatchd -mpc-worker` processes) ships every superstep's messages to
-	// external worker processes. Backends are bit-identical by contract —
-	// like Workers, this changes where the solve runs, never its result.
-	// Implementations must be comparable (use a pointer type).
+	// fractional compression supersteps (the simulator core of AlgoApprox
+	// and AlgoFrac). Nil is the in-process pipeline; a non-nil factory
+	// (e.g. mpctransport.NewDialer over `bmatchd -mpc-worker` processes)
+	// ships those supersteps' messages to external worker processes. The
+	// auxiliary MPC-modeled phases of AlgoMax/AlgoMaxWeight (slot
+	// assignment, conflict resolution) always run in-process — their
+	// payloads are outside the wire codec's closed type set. Backends are
+	// bit-identical by contract — like Workers, this changes where the
+	// solve runs, never its result. Implementations must be comparable
+	// (use a pointer type).
 	MPCTransport mpc.TransportFactory
 	// Progress, when non-nil, is invoked with a sample at solver
 	// checkpoints (round, superstep, sweep, and stream-pass boundaries).
