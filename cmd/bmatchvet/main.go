@@ -1,0 +1,82 @@
+// Command bmatchvet runs the repository's static-invariant analyzers
+// (internal/lint) over a package pattern and reports findings. It is
+// the compile-time enforcement of the invariants the tests pin at
+// runtime: deterministic solver output across worker counts and
+// transport backends, transport-free dependency cones, and scratch
+// arena borrow/release lifetimes.
+//
+// Usage:
+//
+//	go run ./cmd/bmatchvet [-json] [-out file] [packages]
+//
+// With no packages, ./... is analyzed. Findings print one per line as
+// file:line:col: message (analyzer); -json instead emits a JSON array
+// of findings on stdout (build-annotation friendly), and -out writes
+// that JSON to a file while keeping the human-readable lines on
+// stderr. Exit status: 0 clean, 1 findings, 2 load or internal error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	outFile := flag.String("out", "", "also write the JSON findings to this file")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: bmatchvet [-json] [-out file] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	prog, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bmatchvet: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := lint.RunAnalyzers(prog, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bmatchvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	if diags == nil {
+		diags = []lint.Diagnostic{} // marshal as [], not null
+	}
+	if *jsonOut || *outFile != "" {
+		blob, err := json.MarshalIndent(diags, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bmatchvet: %v\n", err)
+			os.Exit(2)
+		}
+		if *jsonOut {
+			fmt.Printf("%s\n", blob)
+		}
+		if *outFile != "" {
+			if err := os.WriteFile(*outFile, append(blob, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "bmatchvet: %v\n", err)
+				os.Exit(2)
+			}
+		}
+	}
+	human := os.Stdout
+	if *jsonOut {
+		human = os.Stderr
+	}
+	for _, d := range diags {
+		fmt.Fprintln(human, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "bmatchvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

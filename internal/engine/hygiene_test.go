@@ -2,33 +2,54 @@ package engine
 
 import (
 	"os/exec"
+	"slices"
 	"strings"
 	"testing"
+
+	"repro/internal/lint"
 )
 
 // TestTransportFree enforces the layering rule from the package comment:
-// neither the engine nor the root bmatch facade may link net/http (or any
-// other transport) into library-only consumers. CI runs the same check as
-// a standalone step; this test keeps it enforced for anyone running plain
-// `go test ./...`.
+// neither the engine nor the root bmatch facade may link net/http (or
+// any other transport) into library-only consumers. CI enforces the
+// same invariant statically via bmatchvet's importhygiene analyzer;
+// this test is the runtime mirror — it checks the *transitive* closure
+// with the real go tool, so a banned package smuggled in through a new
+// intermediate dependency still fails plain `go test ./...`. Both sides
+// read their cone roots and ban list from internal/lint, so they cannot
+// drift apart (TestTransportBanListMatchesAnalyzer pins that).
 func TestTransportFree(t *testing.T) {
 	goBin, err := exec.LookPath("go")
 	if err != nil {
 		t.Skip("go tool not available")
 	}
-	// repro/internal/engine covers the whole engine cone — sessions, the
-	// pool, the progress plumbing, and the async job registry live in one
-	// package; repro/internal/stream keeps the streaming drivers (now ctx-
-	// aware) transport-free too.
-	for _, pkg := range []string{"repro", "repro/internal/engine", "repro/internal/stream"} {
+	banned := lint.BannedTransportImports()
+	for _, pkg := range lint.TransportConeRoots() {
 		out, err := exec.Command(goBin, "list", "-deps", pkg).Output()
 		if err != nil {
 			t.Fatalf("go list -deps %s: %v", pkg, err)
 		}
 		for _, dep := range strings.Fields(string(out)) {
-			if dep == "net/http" || dep == "net" || dep == "repro/internal/httpapi" {
+			if slices.Contains(banned, dep) {
 				t.Errorf("%s links %s; the engine and the facade must stay transport-free", pkg, dep)
 			}
 		}
+	}
+}
+
+// TestTransportBanListMatchesAnalyzer pins the shared ban configuration
+// so neither this test nor the importhygiene analyzer can silently
+// diverge from the layering rule: the roots are the facade plus the two
+// library cones, and the bans are the transport packages. Changing
+// either list is a deliberate API decision — update internal/lint/bans.go
+// and this golden together.
+func TestTransportBanListMatchesAnalyzer(t *testing.T) {
+	wantRoots := []string{"repro", "repro/internal/engine", "repro/internal/stream"}
+	if got := lint.TransportConeRoots(); !slices.Equal(got, wantRoots) {
+		t.Errorf("transport cone roots = %v, want %v", got, wantRoots)
+	}
+	wantBans := []string{"net", "net/http", "repro/internal/httpapi"}
+	if got := lint.BannedTransportImports(); !slices.Equal(got, wantBans) {
+		t.Errorf("banned transport imports = %v, want %v", got, wantBans)
 	}
 }

@@ -19,7 +19,7 @@ type Dual struct {
 	Z []float64 // per-edge
 }
 
-// Objective returns Σ b_v·y_v + Σ r_e·z_e.
+// DualObjective returns Σ b_v·y_v + Σ r_e·z_e.
 func (p *Problem) DualObjective(d Dual) float64 {
 	var s float64
 	for v := 0; v < p.G.N; v++ {

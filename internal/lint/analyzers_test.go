@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// Each analyzer is exercised against its fixture package three ways,
+// mirroring analysistest: positive hits (every // want must fire),
+// annotated suppressions (no finding may fire), and clean code — all
+// three live side by side in each fixture file. The outsidecone runs
+// pin the cone gating: identical code under a non-cone import path must
+// produce zero findings (the fixture has no // want comments, so any
+// diagnostic fails the run as unexpected).
+
+func fixture(name string) string { return filepath.Join("testdata", "src", name) }
+
+func TestMapRangeAnalyzer(t *testing.T) {
+	RunFixture(t, MapRangeAnalyzer, fixture("maprange"), "repro/internal/frac")
+}
+
+func TestMapRangeOutsideCone(t *testing.T) {
+	RunFixture(t, MapRangeAnalyzer, fixture("outsidecone"), "repro/internal/graphio")
+}
+
+func TestAnnotationAnalyzer(t *testing.T) {
+	RunFixture(t, AnnotationAnalyzer, fixture("annotation"), "repro/internal/frac")
+}
+
+func TestImportHygieneAnalyzer(t *testing.T) {
+	// Fixtures impersonate a cone root; with no whole-program graph the
+	// analyzer falls back to root membership.
+	RunFixture(t, ImportHygieneAnalyzer, fixture("importhygiene"), "repro/internal/engine")
+}
+
+func TestImportHygieneOutsideCone(t *testing.T) {
+	// The same transport imports are legal outside the protected cones
+	// (this is where httpapi and mpctransport live).
+	RunFixture(t, ImportHygieneAnalyzer, fixture("outsidecone"), "repro/internal/httpapi")
+}
+
+func TestNondeterminismAnalyzer(t *testing.T) {
+	RunFixture(t, NondeterminismAnalyzer, fixture("nondeterminism"), "repro/internal/mpc")
+}
+
+func TestNondeterminismOutsideCone(t *testing.T) {
+	RunFixture(t, NondeterminismAnalyzer, fixture("outsidecone"), "repro/internal/mpc/mpctransport")
+}
+
+func TestCtxPropagationAnalyzer(t *testing.T) {
+	RunFixture(t, CtxPropagationAnalyzer, fixture("ctxpropagation"), "repro/internal/core")
+}
+
+func TestCtxPropagationOutsideCone(t *testing.T) {
+	RunFixture(t, CtxPropagationAnalyzer, fixture("outsidecone"), "repro/internal/engine")
+}
+
+func TestScratchLifetimeAnalyzer(t *testing.T) {
+	RunFixture(t, ScratchLifetimeAnalyzer, fixture("scratchlifetime"), "repro/internal/round")
+}

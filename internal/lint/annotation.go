@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+)
+
+// AnnotationAnalyzer enforces the //lint: directive grammar itself:
+//
+//	//lint:<name> <reason>
+//
+// where <name> is one of the directives the suite understands (sorted,
+// parallel, context) and <reason> is mandatory free text justifying the
+// suppression. A typoed directive name or a bare //lint:sorted with no
+// reason would otherwise silently fail to suppress (or, worse, look
+// like it suppressed) — so both are findings in their own right.
+var AnnotationAnalyzer = &Analyzer{
+	Name: "annotation",
+	Doc:  "//lint: directives must use a known name and carry a justification",
+	Run:  runAnnotation,
+}
+
+func runAnnotation(pass *Pass) error {
+	known := make([]string, 0, len(AnnotationNames))
+	for name := range AnnotationNames {
+		known = append(known, name)
+	}
+	sort.Strings(known)
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				ann, ok := parseAnnotation(c, pass.Fset)
+				if !ok {
+					continue
+				}
+				if _, knownName := AnnotationNames[ann.Name]; !knownName {
+					pass.Reportf(ann.Pos,
+						"unknown //lint: directive %q (known: %s)", ann.Name, strings.Join(known, ", "))
+					continue
+				}
+				if ann.Reason == "" {
+					pass.Reportf(ann.Pos,
+						"//lint:%s needs a reason: //lint:%s <why the %s invariant holds here>",
+						ann.Name, ann.Name, AnnotationNames[ann.Name])
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"strconv"
+)
+
+// ImportHygieneAnalyzer is the declarative replacement for the old CI
+// shell step that grepped `go list -deps` output: every package inside
+// a transport cone (the TransportConeRoots and all their transitive
+// dependencies) must not import any of the BannedTransportImports.
+// Because a banned package can only enter a cone through some cone
+// member's direct import, checking direct imports of every cone member
+// is exactly equivalent to grepping the roots' transitive dependency
+// lists — but the finding lands on the offending import line instead of
+// in a CI log.
+var ImportHygieneAnalyzer = &Analyzer{
+	Name: "importhygiene",
+	Doc: "bans transport imports (net, net/http, the httpapi package) from the " +
+		"facade, engine, and stream dependency cones",
+	Run: runImportHygiene,
+}
+
+func runImportHygiene(pass *Pass) error {
+	inCone := false
+	if pass.Prog != nil {
+		inCone = pass.Prog.InTransportCone(pass.Path)
+	} else {
+		// Fixture mode: no dependency graph; fixtures impersonate a
+		// cone root directly.
+		inCone = isTransportConeRoot(pass.Path)
+	}
+	if !inCone {
+		return nil
+	}
+	banned := make(map[string]bool, len(bannedTransportImports))
+	for _, b := range bannedTransportImports {
+		banned[b] = true
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if banned[path] {
+				pass.Reportf(imp.Pos(),
+					"package %s is in a transport-free dependency cone (roots: %v) and must not import %q",
+					pass.Path, transportConeRoots, path)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one type-checked module package under analysis.
+type Package struct {
+	Path    string
+	Dir     string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	Imports []string // direct imports, including stdlib
+}
+
+// A Program is the analyzed slice of the module: every non-test module
+// package matched by the load patterns, type-checked, plus the
+// dependency graph go list reported for them.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+	// deps maps each loaded package path to its transitive dependency
+	// set (module and stdlib, as reported by go list's Deps field).
+	deps map[string]map[string]bool
+	// transportCone is the union of the TransportConeRoots and their
+	// transitive dependencies: the packages that must stay free of the
+	// banned transport imports.
+	transportCone map[string]bool
+}
+
+// InTransportCone reports whether path is a transport-cone root or a
+// transitive dependency of one, per the go list dependency graph the
+// program was loaded with.
+func (p *Program) InTransportCone(path string) bool { return p.transportCone[path] }
+
+// listedPackage is the subset of go list -json output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	GoFiles    []string
+	Imports    []string
+	Deps       []string
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns with the go command from dir (which must be
+// inside the module), parses and type-checks every matched non-test
+// module package, and returns the Program. Dependencies — stdlib and
+// module-internal alike — are resolved by a source importer, so no
+// pre-compiled export data or network access is needed.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var listed []*listedPackage
+	dec := json.NewDecoder(out)
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			cmd.Wait()
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		listed = append(listed, &lp)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	prog := &Program{
+		Fset:          token.NewFileSet(),
+		deps:          make(map[string]map[string]bool),
+		transportCone: make(map[string]bool),
+	}
+	for _, lp := range listed {
+		set := make(map[string]bool, len(lp.Deps))
+		for _, d := range lp.Deps {
+			set[d] = true
+		}
+		prog.deps[lp.ImportPath] = set
+	}
+	for _, root := range TransportConeRoots() {
+		if set, ok := prog.deps[root]; ok {
+			prog.transportCone[root] = true
+			for d := range set {
+				prog.transportCone[d] = true
+			}
+		}
+	}
+
+	// One shared source importer: it caches every package it checks, so
+	// the stdlib is type-checked at most once per Load.
+	src := importer.ForCompiler(prog.Fset, "source", nil)
+	for _, lp := range listed {
+		if lp.Standard {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkg, err := typecheck(prog.Fset, src, lp)
+		if err != nil {
+			return nil, err
+		}
+		prog.Pkgs = append(prog.Pkgs, pkg)
+	}
+	return prog, nil
+}
+
+// typecheck parses and checks one listed package.
+func typecheck(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", lp.ImportPath, err)
+	}
+	return &Package{
+		Path:    lp.ImportPath,
+		Dir:     lp.Dir,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+		Imports: lp.Imports,
+	}, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}

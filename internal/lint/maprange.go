@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRangeAnalyzer flags `for … range` over a map inside the
+// deterministic solver cone. Go randomizes map iteration order, so any
+// map range whose iteration order can reach output — matched edges,
+// message payloads, error text — is a nondeterminism bug. Loops whose
+// order provably cannot matter (typically the collect-keys-then-sort
+// idiom itself) are suppressed with a justified annotation:
+//
+//	//lint:sorted keys are collected and sorted before use
+//	for k := range m { … }
+var MapRangeAnalyzer = &Analyzer{
+	Name: "maprange",
+	Doc: "flags range-over-map in the deterministic solver cone unless " +
+		"annotated //lint:sorted with a reason",
+	Run: runMapRange,
+}
+
+func runMapRange(pass *Pass) error {
+	if !InSolverCone(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if _, ok := pass.annotated(rs, "sorted"); ok {
+				return true
+			}
+			pass.Reportf(rs.Pos(),
+				"range over map %s in the deterministic solver cone: iteration order is randomized; "+
+					"iterate sorted keys, or annotate //lint:sorted <why order cannot reach output>",
+				types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+			return true
+		})
+	}
+	return nil
+}

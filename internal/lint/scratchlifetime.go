@@ -1,0 +1,478 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const scratchPath = "repro/internal/scratch"
+
+// grabMethods are the Arena methods that hand out arena-backed slices.
+// Their results are valid only until the arena's next Release/Reset.
+var grabMethods = map[string]bool{
+	"F64": true, "F64Raw": true,
+	"I32": true, "I32Raw": true,
+	"I64": true, "I64Raw": true,
+	"Bool": true, "BoolRaw": true,
+}
+
+// ScratchLifetimeAnalyzer enforces the arena borrow discipline from
+// internal/scratch's package contract:
+//
+//   - Every `ar, done := scratch.Borrow(…)` must invoke done on all
+//     paths out of the block that performed the borrow: either
+//     `defer done()` (the canonical form) or an explicit done() before
+//     every return in that block plus one on the fall-through path.
+//     Discarding done with `_` is always a leak.
+//   - Every `a := scratch.Get()` must be paired with scratch.Put(a) in
+//     the same function (defer or explicit) — long-lived arena owners
+//     allocate with new(scratch.Arena) instead of draining the pool.
+//   - Memory grabbed from an arena whose Mark/Release window is owned
+//     by this function (it called Borrow/Get here, so done/Put runs
+//     before the caller sees the result) must not escape that window:
+//     returning a grabbed slice, returning the pooled arena itself, or
+//     returning/field-storing a closure that captures either hands out
+//     memory the release has already recycled. Passing the arena *down*
+//     into callees (including in return position) is fine — callees run
+//     inside the window — and helpers that receive an arena parameter
+//     may freely return grabbed memory, because the caller owns that
+//     window.
+//
+// The path analysis is deliberately lexical (this is a linter, not a
+// model checker): `defer done()` always satisfies it, and the explicit
+// form requires done() directly before each return in the borrowing
+// block. The scratch package itself is exempt — it implements the
+// ownership transfer these rules forbid everywhere else.
+var ScratchLifetimeAnalyzer = &Analyzer{
+	Name: "scratchlifetime",
+	Doc: "scratch.Borrow's done must run on all paths, Get pairs with Put, and " +
+		"grabbed memory must not escape the owning Mark/Release window",
+	Run: runScratchLifetime,
+}
+
+func runScratchLifetime(pass *Pass) error {
+	if pass.Path == scratchPath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkScratchFunc(pass, n.Body)
+				}
+				return false // checkScratchFunc recurses into literals itself
+			case *ast.FuncLit:
+				// Only reached for literals outside any FuncDecl (package
+				// var initializers); function-nested literals are handled
+				// by their enclosing checkScratchFunc.
+				checkScratchFunc(pass, n.Body)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// borrowBinding is one `ar, done := scratch.Borrow(…)` site.
+type borrowBinding struct {
+	assign *ast.AssignStmt
+	done   *types.Var
+}
+
+// checkScratchFunc analyzes one function body. Nested function literals
+// are analyzed as their own functions (they own their Borrows) but are
+// also scanned for captures of the enclosing function's grabbed memory.
+func checkScratchFunc(pass *Pass, body *ast.BlockStmt) {
+	var (
+		borrows   []borrowBinding
+		arenaVars = map[*types.Var]bool{}
+		grabVars  = map[*types.Var]bool{}
+	)
+
+	// Pass 1: find Borrow/Get bindings and grab-result bindings, and
+	// recurse into nested literals.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkScratchFunc(pass, lit.Body)
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if len(as.Rhs) == 1 {
+			if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+				switch {
+				case isPkgFunc(pass.Info, call, scratchPath, "Borrow") && len(as.Lhs) == 2:
+					if v := lhsVar(pass, as.Lhs[0]); v != nil {
+						arenaVars[v] = true
+					}
+					if v := lhsVar(pass, as.Lhs[1]); v != nil {
+						borrows = append(borrows, borrowBinding{assign: as, done: v})
+					} else {
+						pass.Reportf(call.Pos(),
+							"scratch.Borrow's done result is discarded: it must be invoked to release the arena")
+					}
+					return true
+				case isPkgFunc(pass.Info, call, scratchPath, "Get") && len(as.Lhs) == 1:
+					if v := lhsVar(pass, as.Lhs[0]); v != nil {
+						arenaVars[v] = true
+						if !hasPutFor(pass, body, v) {
+							pass.Reportf(call.Pos(),
+								"scratch.Get result is never returned with scratch.Put in this function; "+
+									"defer scratch.Put(%s), or own a long-lived arena with new(scratch.Arena)", v.Name())
+						}
+					}
+					return true
+				}
+			}
+		}
+		// Positional match: x := ar.F64(n), or a, b := ar.I32(n), ar.I64(m).
+		if len(as.Lhs) == len(as.Rhs) {
+			for i, rhs := range as.Rhs {
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isGrabOn(pass, call, arenaVars) {
+					if v := lhsVar(pass, as.Lhs[i]); v != nil {
+						grabVars[v] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: release discipline for each done func, scoped to the
+	// block that performed the borrow.
+	for _, b := range borrows {
+		checkDoneDiscipline(pass, body, b)
+	}
+
+	// Pass 3: escapes of window-owned memory.
+	if len(arenaVars) > 0 {
+		checkWindowEscapes(pass, body, arenaVars, grabVars)
+	}
+}
+
+// checkDoneDiscipline requires `defer done()`, or an explicit done() on
+// every path out of the block containing the Borrow: directly before
+// each return inside that block, and at the block's top level for the
+// fall-through path.
+func checkDoneDiscipline(pass *Pass, body *ast.BlockStmt, b borrowBinding) {
+	done := b.done
+	deferred, called := false, false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if callsVar(pass, n.Call, done) {
+				deferred = true
+			}
+		case *ast.CallExpr:
+			if callsVar(pass, n, done) {
+				called = true
+			}
+		}
+		return true
+	})
+	if deferred {
+		return
+	}
+	if !called {
+		pass.Reportf(done.Pos(),
+			"scratch.Borrow's done func %q is never invoked: the arena is never released (use defer %s())",
+			done.Name(), done.Name())
+		return
+	}
+
+	// Explicit form. The borrow's scope is the innermost block whose
+	// statement list contains the assignment; done must run before
+	// control leaves it.
+	scope, idx := enclosingBlock(body, b.assign)
+	if scope == nil {
+		scope, idx = body, -1
+	}
+
+	// Every return inside the scope after the borrow must directly
+	// follow done() in its immediate block.
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, stmt := range block.List {
+			ret, ok := stmt.(*ast.ReturnStmt)
+			if !ok || ret.Pos() < b.assign.Pos() {
+				continue
+			}
+			if i == 0 || !stmtCallsVar(pass, block.List[i-1], done) {
+				pass.Reportf(ret.Pos(),
+					"return without invoking %s() from scratch.Borrow on this path (use defer %s())",
+					done.Name(), done.Name())
+			}
+		}
+		return true
+	})
+
+	// Fall-through: unless the scope ends in a return or a statement
+	// that cannot complete, a top-level done() after the borrow must
+	// exist.
+	topLevelDone := false
+	for i := idx + 1; i < len(scope.List); i++ {
+		if stmtCallsVar(pass, scope.List[i], done) {
+			topLevelDone = true
+			break
+		}
+	}
+	if topLevelDone {
+		return
+	}
+	if n := len(scope.List); n > 0 {
+		last := scope.List[n-1]
+		if _, isRet := last.(*ast.ReturnStmt); !isRet && !terminates(last) {
+			pass.Reportf(last.End(),
+				"control can leave the borrowing block without invoking %s() from scratch.Borrow (use defer %s())",
+				done.Name(), done.Name())
+		}
+	}
+}
+
+// enclosingBlock returns the innermost block whose statement list
+// contains stmt, and stmt's index in it.
+func enclosingBlock(body *ast.BlockStmt, stmt ast.Stmt) (*ast.BlockStmt, int) {
+	var block *ast.BlockStmt
+	idx := -1
+	ast.Inspect(body, func(n ast.Node) bool {
+		if block != nil {
+			return false
+		}
+		bs, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, s := range bs.List {
+			if s == stmt {
+				block, idx = bs, i
+				return false
+			}
+		}
+		return true
+	})
+	return block, idx
+}
+
+// checkWindowEscapes flags window-owned arena memory leaving through
+// returns, and closures capturing it that are returned or stored into
+// fields or indexed slots. Passing the arena as a call argument is not
+// an escape — the callee runs inside the window.
+func checkWindowEscapes(pass *Pass, body *ast.BlockStmt, arenaVars, grabVars map[*types.Var]bool) {
+	refsGrabbed := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if v, ok := pass.Info.Uses[id].(*types.Var); ok && grabVars[v] {
+					found = true
+				}
+			}
+			if call, ok := m.(*ast.CallExpr); ok && isGrabOn(pass, call, arenaVars) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	// aliasesGrabbed is the return-position rule: only expressions that
+	// still *reference* grabbed memory escape — the slice itself, a
+	// reslice of it, a pointer into it, a grab call, or a composite
+	// literal embedding one of those. Element reads (xs[0]), len/cap,
+	// and arithmetic copy values out and are fine.
+	var aliasesGrabbed func(e ast.Expr) bool
+	aliasesGrabbed = func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			v, ok := pass.Info.Uses[e].(*types.Var)
+			return ok && grabVars[v]
+		case *ast.CallExpr:
+			return isGrabOn(pass, e, arenaVars)
+		case *ast.SliceExpr:
+			return aliasesGrabbed(e.X)
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if ix, ok := ast.Unparen(e.X).(*ast.IndexExpr); ok {
+					return aliasesGrabbed(ix.X)
+				}
+				return aliasesGrabbed(e.X)
+			}
+		case *ast.CompositeLit:
+			for _, elt := range e.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				if aliasesGrabbed(elt) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	refsWindow := func(n ast.Node) bool {
+		if refsGrabbed(n) {
+			return true
+		}
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if v, ok := pass.Info.Uses[id].(*types.Var); ok && arenaVars[v] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a nested literal's own returns target its own frame
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+					if v, ok := pass.Info.Uses[id].(*types.Var); ok && arenaVars[v] {
+						pass.Reportf(res.Pos(),
+							"the borrowed arena itself is returned: the deferred release recycles it "+
+								"before the caller can use it")
+						continue
+					}
+				}
+				if lit, ok := ast.Unparen(res).(*ast.FuncLit); ok {
+					if refsWindow(lit.Body) {
+						pass.Reportf(res.Pos(),
+							"returned closure captures window-owned arena memory: it runs after the "+
+								"Mark/Release window closes")
+					}
+					continue
+				}
+				if aliasesGrabbed(res) {
+					pass.Reportf(res.Pos(),
+						"arena-backed scratch escapes the Borrow/Release window owned by this function: "+
+							"the release recycles it before the caller can use it")
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				switch lhs.(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					if lit, ok := ast.Unparen(n.Rhs[i]).(*ast.FuncLit); ok && refsWindow(lit.Body) {
+						pass.Reportf(n.Rhs[i].Pos(),
+							"closure capturing window-owned arena memory is stored outside the function: "+
+								"it will run after the Mark/Release window closes")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// --- small helpers -------------------------------------------------------
+
+func lhsVar(pass *Pass, e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if v, ok := pass.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := pass.Info.Uses[id].(*types.Var)
+	return v
+}
+
+func callsVar(pass *Pass, call *ast.CallExpr, v *types.Var) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && pass.Info.Uses[id] == v
+}
+
+func stmtCallsVar(pass *Pass, stmt ast.Stmt, v *types.Var) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	return ok && callsVar(pass, call, v)
+}
+
+// isGrabOn reports whether call is a grab method (F64, I32Raw, …)
+// invoked on one of the window-owned arena variables.
+func isGrabOn(pass *Pass, call *ast.CallExpr, arenaVars map[*types.Var]bool) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || !grabMethods[fn.Name()] {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != scratchPath || named.Obj().Name() != "Arena" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v, ok := pass.Info.Uses[id].(*types.Var)
+	return ok && arenaVars[v]
+}
+
+// hasPutFor reports whether body contains scratch.Put(v), deferred or
+// explicit.
+func hasPutFor(pass *Pass, body *ast.BlockStmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isPkgFunc(pass.Info, call, scratchPath, "Put") || len(call.Args) != 1 {
+			return !found
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && pass.Info.Uses[id] == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// terminates reports whether stmt obviously cannot fall through: a
+// panic call or an infinite for loop.
+func terminates(stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	case *ast.ForStmt:
+		return s.Cond == nil
+	}
+	return false
+}

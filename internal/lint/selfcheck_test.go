@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"testing"
+)
+
+// TestTreeIsClean is the tier-1 mirror of CI's bmatchvet step: the
+// whole repository must pass every analyzer. A finding here means a
+// determinism, hygiene, or lifetime invariant regressed — fix the code
+// or justify an annotation, exactly as the diagnostic says.
+func TestTreeIsClean(t *testing.T) {
+	prog, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := RunAnalyzers(prog, Analyzers())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestSolverConeIsAnalyzed guards against the self-check silently
+// going no-op: the load must actually cover every solver-cone package
+// and every transport-cone root, or the clean result above is
+// meaningless.
+func TestSolverConeIsAnalyzed(t *testing.T) {
+	prog, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	loaded := make(map[string]bool, len(prog.Pkgs))
+	for _, p := range prog.Pkgs {
+		loaded[p.Path] = true
+	}
+	for _, path := range SolverCone() {
+		if !loaded[path] {
+			t.Errorf("solver-cone package %s was not loaded", path)
+		}
+	}
+	for _, root := range TransportConeRoots() {
+		if !loaded[root] {
+			t.Errorf("transport-cone root %s was not loaded", root)
+		}
+		if !prog.InTransportCone(root) {
+			t.Errorf("transport-cone root %s not marked as cone member", root)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+// Package annotation is a bmatchvet fixture for the //lint: directive
+// grammar itself.
+package annotation
+
+//lint:bogus this directive name does not exist // want "unknown //lint: directive"
+func unknownDirective() {}
+
+//lint:sorted // want "needs a reason"
+func missingReason(m map[int]int) {
+	for range m {
+	}
+}
+
+//lint:parallel this goroutine only publishes to an owned channel
+func wellFormed() {}
+
+// A normal comment mentioning lint:sorted in prose is not a directive.
+func prose() {}

@@ -1,0 +1,12 @@
+// Package importhygiene is a bmatchvet fixture analyzed as a
+// transport-cone root: the transport imports below must be flagged,
+// ordinary imports must not.
+package importhygiene
+
+import (
+	"fmt"
+	_ "net"      // want "must not import \"net\""
+	_ "net/http" // want "must not import \"net/http\""
+)
+
+func clean() { fmt.Println("fmt is fine in the cone") }

@@ -1,0 +1,54 @@
+// Package maprange is a bmatchvet fixture: it is analyzed as a
+// solver-cone import path, so every range over a map must be fixed or
+// annotated.
+package maprange
+
+import "sort"
+
+func hit(m map[int32]int) int {
+	total := 0
+	for _, v := range m { // want "range over map"
+		total += v
+	}
+	return total
+}
+
+func hitTrailing(m map[string]bool) {
+	for k := range m { // want "range over map"
+		_ = k
+	}
+}
+
+func suppressed(m map[int32]int) []int32 {
+	keys := make([]int32, 0, len(m))
+	//lint:sorted keys are collected and sorted before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func suppressedTrailing(m map[int32]int) {
+	for k := range m { //lint:sorted order provably cannot reach output here
+		_ = k
+	}
+}
+
+func annotationWithoutReason(m map[int32]int) {
+	//lint:sorted
+	for k := range m { // want "range over map"
+		_ = k
+	}
+}
+
+func cleanSliceAndChannel(xs []int, ch chan int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	for x := range ch {
+		total += x
+	}
+	return total
+}

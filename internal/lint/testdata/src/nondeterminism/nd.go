@@ -1,0 +1,27 @@
+// Package nondeterminism is a bmatchvet fixture analyzed as a
+// solver-cone import path.
+package nondeterminism
+
+import (
+	"math/rand" // want "use repro/internal/rng"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now() // want "time.Now"
+	_ = rand.Int()
+	time.Sleep(time.Millisecond) // want "time.Sleep"
+	return time.Since(start)     // want "time.Since"
+}
+
+func rawGoroutine(ch chan int) {
+	go func() { ch <- 1 }() // want "go statement"
+}
+
+func annotatedGoroutine(ch chan int) {
+	//lint:parallel result-free: this goroutine only closes an owned channel
+	go func() { close(ch) }()
+}
+
+// durationsAreFine uses time's pure declarations only.
+func durationsAreFine(d time.Duration) time.Duration { return d + time.Second }

@@ -1,0 +1,19 @@
+// Package outsidecone is a bmatchvet fixture run under an import path
+// outside both the solver cone and the transport cones: everything in
+// here would be a finding inside a cone, and none of it may be flagged
+// outside.
+package outsidecone
+
+import (
+	"context"
+	_ "net"
+	"time"
+)
+
+func allOfThisIsFineOutsideTheCone(m map[int]int, ch chan int) time.Time {
+	for range m {
+	}
+	go func() { ch <- 1 }()
+	_ = context.Background()
+	return time.Now()
+}

@@ -1,0 +1,159 @@
+// Package scratchlifetime is a bmatchvet fixture exercising the arena
+// borrow/release and escape rules against the real
+// repro/internal/scratch package.
+package scratchlifetime
+
+import "repro/internal/scratch"
+
+// goodDefer is the canonical form.
+func goodDefer(n int) float64 {
+	ar, done := scratch.Borrow(nil)
+	defer done()
+	xs := ar.F64(n)
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// discardedDone throws the release func away.
+func discardedDone() {
+	ar, _ := scratch.Borrow(nil) // want "done result is discarded"
+	_ = ar
+}
+
+// neverReleased binds done but never invokes it.
+func neverReleased() {
+	ar, done := scratch.Borrow(nil) // want "never invoked"
+	_ = ar
+	_ = done
+}
+
+// explicitOK releases on both the early return and the fall-through.
+func explicitOK(n int) int {
+	ar, done := scratch.Borrow(nil)
+	xs := ar.I32(n)
+	if len(xs) == 0 {
+		done()
+		return 0
+	}
+	total := int(xs[0])
+	done()
+	return total
+}
+
+// explicitMissingPath forgets done on the early return.
+func explicitMissingPath(n int) int {
+	ar, done := scratch.Borrow(nil)
+	xs := ar.I32(n)
+	if len(xs) == 0 {
+		return 0 // want "return without invoking done"
+	}
+	done()
+	return int(xs[0])
+}
+
+// blockScoped borrows inside a block and releases before leaving it;
+// the return outside the block is not a leak path.
+func blockScoped(rebuild bool, n int) int {
+	total := 0
+	if rebuild {
+		ar, done := scratch.Borrow(nil)
+		xs := ar.I32(n)
+		total = len(xs)
+		done()
+	}
+	return total
+}
+
+// fallsOffEnd can complete without releasing.
+func fallsOffEnd(n int) {
+	ar, done := scratch.Borrow(nil)
+	xs := ar.I32(n)
+	if len(xs) > 3 {
+		done()
+	} // want "control can leave the borrowing block"
+}
+
+// getWithoutPut drains the pool.
+func getWithoutPut() {
+	ar := scratch.Get() // want "never returned with scratch.Put"
+	_ = ar.F64(8)
+}
+
+// getWithPut is the sanctioned pool pattern.
+func getWithPut() {
+	ar := scratch.Get()
+	defer scratch.Put(ar)
+	_ = ar.F64(8)
+}
+
+// returnsGrabDirect hands out memory the deferred done has released.
+func returnsGrabDirect(n int) []float64 {
+	ar, done := scratch.Borrow(nil)
+	defer done()
+	return ar.F64(n) // want "escapes the Borrow/Release window"
+}
+
+// returnsGrabVar does the same through a variable.
+func returnsGrabVar(n int) []int32 {
+	ar, done := scratch.Borrow(nil)
+	defer done()
+	xs := ar.I32(n)
+	return xs // want "escapes the Borrow/Release window"
+}
+
+// returnsArena returns the pooled arena itself.
+func returnsArena() *scratch.Arena {
+	ar, done := scratch.Borrow(nil)
+	defer done()
+	return ar // want "arena itself is returned"
+}
+
+// returnsClosure leaks the window through a captured slice.
+func returnsClosure(n int) func() float64 {
+	ar, done := scratch.Borrow(nil)
+	defer done()
+	xs := ar.F64(n)
+	return func() float64 { return xs[0] } // want "closure captures window-owned arena memory"
+}
+
+// returnsElement copies a scalar out of grabbed memory before the
+// release runs — a value copy, not an escape.
+func returnsElement(n int) float64 {
+	ar, done := scratch.Borrow(nil)
+	defer done()
+	xs := ar.F64(n)
+	return xs[0] * 2
+}
+
+// returnsSubslice still aliases grabbed memory through the reslice.
+func returnsSubslice(n int) []float64 {
+	ar, done := scratch.Borrow(nil)
+	defer done()
+	xs := ar.F64(n)
+	return xs[:n/2] // want "escapes the Borrow/Release window"
+}
+
+// helperWithParamArena may return grabbed memory: its caller owns the
+// window, so the release runs after the caller is done with the slice.
+func helperWithParamArena(ar *scratch.Arena, n int) []float64 {
+	return ar.F64(n)
+}
+
+// synchronousClosure passes window memory into a closure that runs
+// inside the window — not an escape.
+func synchronousClosure(n int) float64 {
+	ar, done := scratch.Borrow(nil)
+	defer done()
+	xs := ar.F64(n)
+	apply := func(f func(i int)) {
+		for i := range xs {
+			f(i)
+		}
+	}
+	var s float64
+	apply(func(i int) { s += xs[i] })
+	return s
+}

@@ -4,6 +4,7 @@ package matching
 
 import (
 	"fmt"
+	"slices"
 )
 
 // Walk is an alternating walk given as a sequence of edge ids. Consecutive
@@ -92,7 +93,17 @@ func (w Walk) Apply(m *BMatching) error {
 		delta[g.Edges[e].U] += d
 		delta[g.Edges[e].V] += d
 	}
-	for v, d := range delta {
+	// Check vertices in sorted order: ranging the map directly would
+	// report whichever violating vertex Go's randomized iteration met
+	// first, making the error text differ run to run.
+	verts := make([]int32, 0, len(delta))
+	//lint:sorted keys are collected here and sorted before any use below
+	for v := range delta {
+		verts = append(verts, v)
+	}
+	slices.Sort(verts)
+	for _, v := range verts {
+		d := delta[v]
 		if m.MatchedDeg(v)+d > m.b[v] {
 			return fmt.Errorf("matching: applying walk would put vertex %d at degree %d > budget %d",
 				v, m.MatchedDeg(v)+d, m.b[v])

@@ -174,6 +174,7 @@ func growInstance(ctx context.Context, s Stream, sm *streamMatching, k int, weig
 	// Iterate matched edges in sorted id order: Go map iteration order is
 	// randomized and would consume the RNG nondeterministically.
 	mids := ar.I32Raw(len(sm.matched))[:0]
+	//lint:sorted ids are collected here and slices.Sort'ed before iteration
 	for id := range sm.matched {
 		mids = append(mids, id)
 	}
@@ -383,7 +384,7 @@ type Result struct {
 
 // OnePlusEps runs the multi-pass unweighted driver over the stream.
 func OnePlusEps(s Stream, n int, b graph.Budgets, params Params, r *rng.RNG) (*Result, error) {
-	return run(context.Background(), s, n, b, params, false, r)
+	return OnePlusEpsCtx(context.Background(), s, n, b, params, r)
 }
 
 // OnePlusEpsCtx is OnePlusEps with cooperative cancellation, checked at
@@ -398,7 +399,7 @@ func OnePlusEpsCtx(ctx context.Context, s Stream, n int, b graph.Budgets, params
 
 // OnePlusEpsWeighted runs the multi-pass weighted driver over the stream.
 func OnePlusEpsWeighted(s Stream, n int, b graph.Budgets, params Params, r *rng.RNG) (*Result, error) {
-	return run(context.Background(), s, n, b, params, true, r)
+	return OnePlusEpsWeightedCtx(context.Background(), s, n, b, params, r)
 }
 
 // OnePlusEpsWeightedCtx is OnePlusEpsWeighted with cooperative
@@ -471,6 +472,7 @@ func run(ctx context.Context, s Stream, n int, b graph.Budgets, params Params, w
 	}
 
 	ids := make([]int32, 0, len(sm.matched))
+	//lint:sorted ids are collected here and slices.Sort'ed before they reach the Result
 	for id := range sm.matched {
 		ids = append(ids, id)
 	}

@@ -80,6 +80,7 @@ func ResolveBetween(cands []Candidate, m *matching.BMatching, base, spread float
 		byClass[WeightClass(c.Gain, base)] = append(byClass[WeightClass(c.Gain, base)], c)
 	}
 	classes := make([]int, 0, len(byClass))
+	//lint:sorted classes are collected here and sorted descending before use
 	for cl := range byClass {
 		classes = append(classes, cl)
 	}

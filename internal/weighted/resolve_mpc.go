@@ -249,6 +249,7 @@ func resolveSequentialFallback(cands []Candidate, m *matching.BMatching) []Candi
 
 func sortedKeys(m map[int32]int) []int32 {
 	out := make([]int32, 0, len(m))
+	//lint:sorted this is the collect-and-sort idiom itself; callers iterate the sorted result
 	for k := range m {
 		out = append(out, k)
 	}
