@@ -23,7 +23,8 @@ import (
 )
 
 // BenchmarkSequential (E1): the idealized doubling process at tightness-
-// guaranteeing round counts.
+// guaranteeing round counts. The workers dimension sweeps the blocked
+// round kernels; the solution is bit-identical across the sweep.
 func BenchmarkSequential(b *testing.B) {
 	for _, d := range []int{16, 64} {
 		n := 2000
@@ -31,11 +32,42 @@ func BenchmarkSequential(b *testing.B) {
 		g := graph.Gnm(n, n*d/2, r.Split())
 		p := frac.BMatchingProblem(g, graph.UniformBudgets(n, 2))
 		T := frac.TightRounds(g.M())
-		b.Run(fmt.Sprintf("d=%d/T=%d", d, T), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				p.Sequential(T, nil, rng.New(int64(i)))
-			}
-		})
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("d=%d/T=%d/workers=%d", d, T, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					p.SequentialWorkers(T, nil, rng.New(int64(i)), workers)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkKernelScaling is the committed ns/op scaling curve for the
+// fused CSR round kernels: one op is the fused vertex-sum + looseness
+// gather followed by the blocked loose-edge filter, swept over edge count
+// and worker-pool width. -short (the CI smoke configuration) keeps only
+// the smallest size; the full sweep is what BENCH_PR<n>.json trajectory
+// points record.
+func BenchmarkKernelScaling(b *testing.B) {
+	for _, m := range []int{100_000, 1_000_000, 10_000_000} {
+		if testing.Short() && m > 100_000 {
+			continue
+		}
+		n := m / 10
+		r := rng.New(15)
+		g := graph.Gnm(n, m, r.Split())
+		p := frac.BMatchingProblem(g, graph.UniformBudgets(n, 2))
+		x := p.InitialValues(g.AvgDeg())
+		y := make([]float64, n)
+		vl := make([]bool, n)
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("m=%d/workers=%d", m, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					p.VLooseIntoWorkers(vl, y, x, 0.2, workers)
+					p.ELooseWorkers(x, 0.2, workers)
+				}
+			})
+		}
 	}
 }
 
@@ -47,7 +79,7 @@ func BenchmarkFullMPC(b *testing.B) {
 		r := rng.New(2)
 		g := graph.CoreFringe(nc, nc*coreDeg/2, nf, nf/2, r.Split())
 		p := frac.BMatchingProblem(g, graph.RandomBudgets(g.N, 1, 4, r.Split()))
-		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		for _, workers := range []int{1, 4} {
 			params := frac.PracticalParams()
 			params.Workers = workers
 			b.Run(fmt.Sprintf("coreDeg=%d/m=%d/workers=%d", coreDeg, g.M(), workers), func(b *testing.B) {

@@ -1,15 +1,39 @@
 // benchjson runs the repository's benchmarks with -benchmem and emits a
 // machine-readable JSON trajectory point (name, ns/op, B/op, allocs/op per
 // benchmark), so performance is tracked as committed data instead of
-// anecdotes. It can also enforce pinned allocation budgets: with -budgets,
-// any benchmark whose allocs/op exceeds its budget fails the run — CI uses
-// this to make allocation regressions in the solver hot loops a red build.
+// anecdotes. It can also enforce pinned budgets: with -budgets, any
+// benchmark over its allocs/op pin, over its tolerance-scaled ns/op pin,
+// or over a pinned ratio to a sibling benchmark fails the run — CI uses
+// this to make perf regressions in the solver hot loops a red build.
 //
 // Usage:
 //
-//	go run ./cmd/benchjson -out BENCH_PR5.json
+//	go run ./cmd/benchjson -out BENCH_PR8.json
 //	go run ./cmd/benchjson -bench 'BenchmarkSequential|BenchmarkFullMPC' -benchtime 3x
 //	go run ./cmd/benchjson -budgets BENCH_BUDGETS.json -out /dev/null
+//	go run ./cmd/benchjson -short -compare BENCH_PR5.json
+//
+// Budget files come in two shapes. The legacy form is a flat
+// {"name-regex": maxAllocsPerOp} map. The structured form pins ns/op and
+// ratios too:
+//
+//	{
+//	  "nsToleranceFactor": 2.5,
+//	  "entries": [
+//	    {"pattern": "^BenchmarkSequential/", "maxAllocs": 60, "maxNs": 4.1e6},
+//	    {"pattern": ".../workers=4$", "maxRatioTo": ".../workers=1", "maxRatio": 1.3}
+//	  ]
+//	}
+//
+// maxNs pins are multiplied by nsToleranceFactor before comparison —
+// absolute times move with the host, so the factor absorbs machine
+// variance while still catching order-of-magnitude regressions. Ratio
+// pins (a benchmark against a sibling measured in the same run) are
+// machine-independent and get no slack beyond their own maxRatio.
+//
+// -compare diffs the run against an earlier trajectory point on stderr
+// (informational only, never fails the run); -short forwards go test's
+// -short flag so size-gated benchmarks keep CI smoke runs cheap.
 //
 // The workflow for the committed trajectory (see README "Benchmark
 // trajectory"): each PR that claims a perf win records a BENCH_PR<n>.json
@@ -71,14 +95,19 @@ func main() {
 		benchtime = flag.String("benchtime", "1x", "passed to go test -benchtime")
 		pkgs      = flag.String("pkgs", "./...", "space-separated packages to benchmark")
 		out       = flag.String("out", "", "output JSON path (default stdout)")
-		budgets   = flag.String("budgets", "", "JSON file mapping benchmark-name regex -> max allocs/op; exceeding any budget fails the run")
+		budgets   = flag.String("budgets", "", "JSON budget file (legacy allocs map or structured entries); exceeding any budget fails the run")
 		label     = flag.String("label", "", "free-form label recorded in the output (e.g. PR number)")
 		timeout   = flag.Duration("timeout", 30*time.Minute, "go test timeout")
+		compare   = flag.String("compare", "", "earlier trajectory JSON to diff against on stderr (informational)")
+		short     = flag.Bool("short", false, "forward -short to go test (size-gated benchmarks shrink)")
 	)
 	flag.Parse()
 
 	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
 		"-benchtime", *benchtime, "-timeout", timeout.String()}
+	if *short {
+		args = append(args, "-short")
+	}
 	args = append(args, strings.Fields(*pkgs)...)
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
@@ -143,6 +172,10 @@ func main() {
 		fatalf("write %s: %v", *out, err)
 	}
 
+	if *compare != "" {
+		compareAgainst(*compare, f.Results)
+	}
+
 	if *budgets != "" {
 		if violations := checkBudgets(*budgets, f.Results); len(violations) > 0 {
 			for _, v := range violations {
@@ -150,28 +183,80 @@ func main() {
 			}
 			os.Exit(1)
 		}
-		fmt.Fprintln(os.Stderr, "all alloc budgets respected")
+		fmt.Fprintln(os.Stderr, "all budgets respected")
 	}
 }
 
-// checkBudgets loads a {"name-regex": maxAllocsPerOp} file and returns one
-// violation string per benchmark over its tightest matching budget. A
-// budget regex that matches no benchmark is itself a violation — a renamed
-// benchmark must not silently retire its pin.
-func checkBudgets(path string, results []Result) []string {
+// BudgetEntry is one structured pin. Zero-valued limits are not checked.
+type BudgetEntry struct {
+	// Pattern selects the benchmarks this entry pins.
+	Pattern string `json:"pattern"`
+	// MaxAllocs is an absolute allocs/op ceiling (allocs are exact, no
+	// tolerance applies).
+	MaxAllocs int64 `json:"maxAllocs,omitempty"`
+	// MaxNs is a ns/op ceiling, scaled by the file's nsToleranceFactor.
+	MaxNs float64 `json:"maxNs,omitempty"`
+	// MaxRatioTo/MaxRatio pin this entry's benchmarks to at most MaxRatio
+	// times the ns/op of the benchmark whose (suffix-stripped) name equals
+	// MaxRatioTo in the same run — machine-independent, so no tolerance.
+	MaxRatioTo string  `json:"maxRatioTo,omitempty"`
+	MaxRatio   float64 `json:"maxRatio,omitempty"`
+}
+
+// BudgetFile is the structured budget format; see the package comment.
+type BudgetFile struct {
+	NsToleranceFactor float64       `json:"nsToleranceFactor"`
+	Entries           []BudgetEntry `json:"entries"`
+}
+
+// loadBudgets reads either budget shape into the structured form.
+func loadBudgets(path string) *BudgetFile {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fatalf("budgets: %v", err)
 	}
-	var raw map[string]int64
-	if err := json.Unmarshal(data, &raw); err != nil {
-		fatalf("budgets %s: %v", path, err)
+	var bf BudgetFile
+	if err := json.Unmarshal(data, &bf); err == nil && len(bf.Entries) > 0 {
+		if bf.NsToleranceFactor <= 0 {
+			bf.NsToleranceFactor = 1
+		}
+		return &bf
 	}
+	var legacy map[string]int64
+	if err := json.Unmarshal(data, &legacy); err != nil {
+		fatalf("budgets %s: neither structured nor legacy format: %v", path, err)
+	}
+	bf = BudgetFile{NsToleranceFactor: 1}
+	for pat, maxAllocs := range legacy {
+		bf.Entries = append(bf.Entries, BudgetEntry{Pattern: pat, MaxAllocs: maxAllocs})
+	}
+	return &bf
+}
+
+// checkBudgets returns one violation string per benchmark over a matching
+// pin. A budget pattern that matches no benchmark is itself a violation —
+// a renamed benchmark must not silently retire its pin.
+func checkBudgets(path string, results []Result) []string {
+	bf := loadBudgets(path)
 	var violations []string
-	for pat, budget := range raw {
-		re, err := regexp.Compile(pat)
+	for _, ent := range bf.Entries {
+		re, err := regexp.Compile(ent.Pattern)
 		if err != nil {
-			fatalf("budgets %s: bad regex %q: %v", path, pat, err)
+			fatalf("budgets %s: bad regex %q: %v", path, ent.Pattern, err)
+		}
+		var ref *Result
+		if ent.MaxRatioTo != "" {
+			for i := range results {
+				if results[i].Name == ent.MaxRatioTo {
+					ref = &results[i]
+					break
+				}
+			}
+			if ref == nil {
+				violations = append(violations,
+					fmt.Sprintf("ratio reference %q missing from this run (pattern %q)", ent.MaxRatioTo, ent.Pattern))
+				continue
+			}
 		}
 		matched := false
 		for _, r := range results {
@@ -179,17 +264,65 @@ func checkBudgets(path string, results []Result) []string {
 				continue
 			}
 			matched = true
-			if r.AllocsPerOp > budget {
+			if ent.MaxAllocs > 0 && r.AllocsPerOp > ent.MaxAllocs {
 				violations = append(violations,
-					fmt.Sprintf("%s: %d allocs/op > budget %d (pattern %q)", r.Name, r.AllocsPerOp, budget, pat))
+					fmt.Sprintf("%s: %d allocs/op > budget %d (pattern %q)", r.Name, r.AllocsPerOp, ent.MaxAllocs, ent.Pattern))
+			}
+			if ent.MaxNs > 0 {
+				if limit := ent.MaxNs * bf.NsToleranceFactor; r.NsPerOp > limit {
+					violations = append(violations,
+						fmt.Sprintf("%s: %.0f ns/op > budget %.0f × tolerance %.2g = %.0f (pattern %q)",
+							r.Name, r.NsPerOp, ent.MaxNs, bf.NsToleranceFactor, limit, ent.Pattern))
+				}
+			}
+			if ref != nil && ent.MaxRatio > 0 && ref.NsPerOp > 0 {
+				if ratio := r.NsPerOp / ref.NsPerOp; ratio > ent.MaxRatio {
+					violations = append(violations,
+						fmt.Sprintf("%s: %.2fx the ns/op of %s > max ratio %.2f (pattern %q)",
+							r.Name, ratio, ref.Name, ent.MaxRatio, ent.Pattern))
+				}
 			}
 		}
 		if !matched {
 			violations = append(violations,
-				fmt.Sprintf("budget pattern %q matched no benchmark — update BENCH_BUDGETS.json for the rename", pat))
+				fmt.Sprintf("budget pattern %q matched no benchmark — update BENCH_BUDGETS.json for the rename", ent.Pattern))
 		}
 	}
 	return violations
+}
+
+// compareAgainst prints an informational ns/op and allocs/op diff between
+// this run and an earlier trajectory point. Machine variance makes raw ns
+// deltas advisory, so the diff never fails the run; it exists so a CI log
+// or a local run shows the shape of the change at a glance.
+func compareAgainst(path string, results []Result) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("compare: %v", err)
+	}
+	var old File
+	if err := json.Unmarshal(data, &old); err != nil {
+		fatalf("compare %s: %v", path, err)
+	}
+	oldByName := make(map[string]Result, len(old.Results))
+	for _, r := range old.Results {
+		oldByName[r.Name] = r
+	}
+	fmt.Fprintf(os.Stderr, "comparison vs %s (label %q, %s) — informational, machine variance applies:\n",
+		path, old.Label, old.Timestamp)
+	matched := 0
+	for _, r := range results {
+		o, ok := oldByName[r.Name]
+		if !ok || o.NsPerOp <= 0 {
+			continue
+		}
+		matched++
+		fmt.Fprintf(os.Stderr, "  %-60s %12.0f -> %12.0f ns/op (%+.1f%%), %d -> %d allocs/op\n",
+			r.Name, o.NsPerOp, r.NsPerOp, 100*(r.NsPerOp-o.NsPerOp)/o.NsPerOp, o.AllocsPerOp, r.AllocsPerOp)
+	}
+	if matched == 0 {
+		fmt.Fprintln(os.Stderr, "  (no benchmark names in common)")
+	}
 }
 
 func fatalf(format string, args ...any) {

@@ -183,6 +183,7 @@ func runTries(ctx context.Context, m *matching.BMatching, k, retries, workers in
 		for i := range tries {
 			tries[i].seedB, tries[i].seedG = r.Reserve(), r.Reserve()
 		}
+		//lint:parallel tries write only their own slot with pre-reserved RNG seeds; acceptance replays serially in try order
 		mpc.ParallelFor(workers, len(tries), func(i int) {
 			if ctx.Err() != nil {
 				return // caller aborts before applying anything from this wave

@@ -10,8 +10,13 @@ import (
 	"fmt"
 
 	"repro/internal/matching"
+	"repro/internal/par"
 	"repro/internal/scratch"
 )
+
+// hDegreeGrain is the incident-edge work per vertex block of BuildH's
+// degree gather; a variable so the fusion harness can shrink it.
+var hDegreeGrain = 1 << 14
 
 // HEdge is an edge of H between two copies; FromM says whether it came from
 // M (versus M*).
@@ -40,32 +45,41 @@ func BuildH(m, mstar *matching.BMatching) (*HGraph, error) {
 
 	inDiff := func(e int32) bool { return m.Contains(e) != mstar.Contains(e) }
 
-	// Per-vertex degree counters and copy-slot cursors are pure scratch;
-	// only BPrime and the edge list escape in the result.
+	// Copy-slot cursors below are pure scratch; only BPrime and the edge
+	// list escape in the result.
 	ar, done := scratch.Borrow(nil)
 	defer done()
-	degM := ar.I32(n)
-	degStar := ar.I32(n)
-	for e := 0; e < g.M(); e++ {
-		if !inDiff(int32(e)) {
-			continue
-		}
-		ed := g.Edges[e]
-		if m.Contains(int32(e)) {
-			degM[ed.U]++
-			degM[ed.V]++
-		} else {
-			degStar[ed.U]++
-			degStar[ed.V]++
-		}
-	}
+
+	// b'_v by a fused per-vertex gather over Incident(v): counting an edge
+	// once per endpoint via the incidence lists visits the same (edge,
+	// endpoint) pairs as the old edge sweep did, so the counts are equal —
+	// and the max fuses into the same pass with no degree arrays at all.
+	// Degree-balanced blocks keep skewed instances from serializing behind
+	// their hub vertices.
 	h := &HGraph{BPrime: make([]int32, n)}
-	for v := 0; v < n; v++ {
-		h.BPrime[v] = degM[v]
-		if degStar[v] > h.BPrime[v] {
-			h.BPrime[v] = degStar[v]
+	vb := g.DegreeBlocks(hDegreeGrain, ar.I32Raw(2*g.M()/hDegreeGrain + 3)[:0])
+	//lint:parallel blocks write disjoint BPrime ranges; each vertex's count reads only the matchings and its own incidence list
+	par.ParallelForBlocks(0, len(vb)-1, 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			for v := vb[b]; v < vb[b+1]; v++ {
+				var dm, ds int32
+				for _, e := range g.Incident(v) {
+					if !inDiff(e) {
+						continue
+					}
+					if m.Contains(e) {
+						dm++
+					} else {
+						ds++
+					}
+				}
+				if ds > dm {
+					dm = ds
+				}
+				h.BPrime[v] = dm
+			}
 		}
-	}
+	})
 
 	// Step (B)/(C): number each side's edges per vertex; the i-th M-edge of
 	// v goes to copy i, and independently the i-th M*-edge goes to copy i.

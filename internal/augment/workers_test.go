@@ -63,3 +63,66 @@ func TestAssignSlotsMPCWorkersMatches(t *testing.T) {
 		}
 	}
 }
+
+// TestBuildHDegreeGatherMatchesEdgeSweep pins BuildH's fused per-vertex
+// degree gather against the old serial edge sweep it replaced (two degree
+// arrays, then the max), across block grains and on a skewed instance.
+func TestBuildHDegreeGatherMatchesEdgeSweep(t *testing.T) {
+	oldGrain := hDegreeGrain
+	t.Cleanup(func() { hDegreeGrain = oldGrain })
+
+	r := rng.New(31)
+	instances := []*graph.Graph{
+		graph.Gnm(60, 400, r.Split()),
+		graph.Star(200),
+		graph.CoreFringe(20, 150, 100, 60, r.Split()),
+	}
+	for gi, g := range instances {
+		b := graph.RandomBudgets(g.N, 1, 3, r.Split())
+		m := matching.MustNew(g, b)
+		mstar := matching.MustNew(g, b)
+		for e := 0; e < g.M(); e++ {
+			if e%2 == 0 && m.CanAdd(int32(e)) {
+				_ = m.Add(int32(e))
+			}
+			if mstar.CanAdd(int32(e)) {
+				_ = mstar.Add(int32(e))
+			}
+		}
+
+		// The retained pre-fusion reference: one sweep over the edge list.
+		degM := make([]int32, g.N)
+		degS := make([]int32, g.N)
+		for e := 0; e < g.M(); e++ {
+			if m.Contains(int32(e)) == mstar.Contains(int32(e)) {
+				continue
+			}
+			ed := g.Edges[e]
+			if m.Contains(int32(e)) {
+				degM[ed.U]++
+				degM[ed.V]++
+			} else {
+				degS[ed.U]++
+				degS[ed.V]++
+			}
+		}
+
+		for _, grain := range []int{1, 7, oldGrain} {
+			hDegreeGrain = grain
+			h, err := BuildH(m, mstar)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := 0; v < g.N; v++ {
+				want := degM[v]
+				if degS[v] > want {
+					want = degS[v]
+				}
+				if h.BPrime[v] != want {
+					t.Fatalf("instance %d grain %d: BPrime[%d] = %d, edge-sweep reference %d",
+						gi, grain, v, h.BPrime[v], want)
+				}
+			}
+		}
+	}
+}

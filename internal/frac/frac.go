@@ -20,6 +20,7 @@ import (
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/scratch"
 )
@@ -74,14 +75,19 @@ func (p *Problem) VertexSums(x []float64) []float64 {
 
 // VertexSumsInto is VertexSums writing into dst (len n), the
 // allocation-free variant for callers that reuse a scratch buffer across
-// rounds. It returns dst.
+// rounds. It returns dst. The sums are computed by the blocked CSR gather
+// (kernels.go) on a GOMAXPROCS-wide pool; results are bit-identical to the
+// serial edge sweep for every worker count.
 func (p *Problem) VertexSumsInto(dst []float64, x []float64) []float64 {
-	clear(dst)
-	for e, xe := range x {
-		ed := p.G.Edges[e]
-		dst[ed.U] += xe
-		dst[ed.V] += xe
-	}
+	return p.VertexSumsIntoWorkers(dst, x, 0)
+}
+
+// VertexSumsIntoWorkers is VertexSumsInto with an explicit worker-pool
+// width (0 = GOMAXPROCS). Results are identical for every width.
+func (p *Problem) VertexSumsIntoWorkers(dst []float64, x []float64, workers int) []float64 {
+	ar, done := scratch.Borrow(nil)
+	defer done()
+	p.vertexSumsGather(dst, x, workers, vertexBlocksScratch(p.G, vertexWorkGrain, ar))
 	return dst
 }
 
@@ -101,27 +107,34 @@ func (p *Problem) VLoose(x []float64, alpha float64) []bool {
 }
 
 // VLooseInto is VLoose writing the indicator into dst (len n), using y
-// (len n) as vertex-sum scratch. It returns dst.
+// (len n) as vertex-sum scratch. It returns dst. The sum and the indicator
+// are fused into one CSR walk (kernels.go); results are bit-identical to
+// the two-pass form for every worker count.
 func (p *Problem) VLooseInto(dst []bool, y []float64, x []float64, alpha float64) []bool {
-	p.VertexSumsInto(y, x)
-	for v := range dst {
-		dst[v] = y[v] < alpha*p.B[v]
-	}
+	return p.VLooseIntoWorkers(dst, y, x, alpha, 0)
+}
+
+// VLooseIntoWorkers is VLooseInto with an explicit worker-pool width
+// (0 = GOMAXPROCS). Results are identical for every width.
+func (p *Problem) VLooseIntoWorkers(dst []bool, y []float64, x []float64, alpha float64, workers int) []bool {
+	ar, done := scratch.Borrow(nil)
+	defer done()
+	p.vLooseGather(dst, y, x, alpha, workers, vertexBlocksScratch(p.G, vertexWorkGrain, ar))
 	return dst
 }
 
 // ELoose returns the edge ids in E_loose(x, α): edges with x_e < α·r_e whose
-// both endpoints are in V_loose(x, α) (Definition 3.2).
+// both endpoints are in V_loose(x, α) (Definition 3.2). The indicator and
+// the edge filter run as fused blocked passes; the returned ids are in
+// ascending order, exactly as the serial filter emitted them.
 func (p *Problem) ELoose(x []float64, alpha float64) []int32 {
-	vl := p.VLoose(x, alpha)
-	var out []int32
-	for e := range p.G.Edges {
-		ed := p.G.Edges[e]
-		if x[e] < alpha*p.R[e] && vl[ed.U] && vl[ed.V] {
-			out = append(out, int32(e))
-		}
-	}
-	return out
+	return p.ELooseWorkers(x, alpha, 0)
+}
+
+// ELooseWorkers is ELoose with an explicit worker-pool width
+// (0 = GOMAXPROCS). Results are identical for every width.
+func (p *Problem) ELooseWorkers(x []float64, alpha float64, workers int) []int32 {
+	return p.eLooseWorkers(x, alpha, workers)
 }
 
 // IsTight reports whether x is α-tight: E_loose(x, α) = ∅.
@@ -288,6 +301,18 @@ func (p *Problem) Sequential(T int, thresholds ThresholdFn, r *rng.RNG) []float6
 	return x
 }
 
+// SequentialWorkers is Sequential with an explicit worker-pool width for
+// the blocked round kernels (0 = GOMAXPROCS). The solution is bit-identical
+// for every width.
+func (p *Problem) SequentialWorkers(T int, thresholds ThresholdFn, r *rng.RNG, workers int) []float64 {
+	x := make([]float64, p.G.M())
+	//lint:context convenience entry point like Sequential: the background context never cancels
+	if err := p.sequentialInto(context.Background(), x, T, thresholds, r, nil, workers); err != nil {
+		panic(err) // unreachable: the background context never cancels
+	}
+	return x
+}
+
 // SequentialCtx is Sequential with cooperative cancellation: ctx is checked
 // at every round boundary, and a cancelled run returns ctx's error with no
 // partial solution. A completed run is bit-identical to Sequential with the
@@ -303,53 +328,72 @@ func (p *Problem) SequentialCtx(ctx context.Context, T int, thresholds Threshold
 // bit-identical to SequentialCtx for every arena (and across arena reuse).
 func (p *Problem) SequentialScratch(ctx context.Context, T int, thresholds ThresholdFn, r *rng.RNG, ar *scratch.Arena) ([]float64, error) {
 	x := make([]float64, p.G.M())
-	if err := p.sequentialInto(ctx, x, T, thresholds, r, ar); err != nil {
+	if err := p.sequentialInto(ctx, x, T, thresholds, r, ar, 0); err != nil {
 		return nil, err
 	}
 	return x, nil
 }
 
 // sequentialInto runs Algorithm 1 writing the solution into x (len m).
-// All working buffers come from ar.
-func (p *Problem) sequentialInto(ctx context.Context, x []float64, T int, thresholds ThresholdFn, r *rng.RNG, ar *scratch.Arena) error {
+// All working buffers come from ar. Each round is two fused blocked
+// sweeps instead of the four serial passes of the textbook form: a
+// vertex-block pass that gathers y_{v,t-1} from the CSR incidence list and
+// applies the threshold test in place, and an edge-block pass that doubles
+// the still-active edges. Per-vertex sums fold in CSR (ascending edge id)
+// order — the same additions in the same order as the serial edge sweep —
+// so the solution is bit-identical for every worker count and grain.
+func (p *Problem) sequentialInto(ctx context.Context, x []float64, T int, thresholds ThresholdFn, r *rng.RNG, ar *scratch.Arena, workers int) error {
 	ar, done := scratch.Borrow(ar)
 	defer done()
 	if thresholds == nil {
 		thresholds = newThresholdsScratch(p, T, r, ar)
 	}
 	g := p.G
-	p.InitialValuesInto(x, ar.F64Raw(g.N), g.AvgDeg())
+	p.initialValuesWorkers(x, ar.F64Raw(g.N), g.AvgDeg(), workers)
 	active := ar.BoolRaw(g.N) // V_t^active
 	for v := range active {
 		active[v] = true
 	}
-	y := ar.F64Raw(g.N)
-	for t := 1; t <= T; t++ {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		// y_{v,t-1} = Σ_{e∈E(v)} x_{e,t-1}
-		for v := range y {
-			y[v] = 0
-		}
-		for e, xe := range x {
-			ed := g.Edges[e]
-			y[ed.U] += xe
-			y[ed.V] += xe
-		}
-		// V_t^active = {v ∈ V_{t-1}^active : y_{v,t-1} ≤ T_{v,t}}
-		for v := int32(0); int(v) < g.N; v++ {
-			if active[v] && y[v] > thresholds(v, t) {
-				active[v] = false
+	vb := vertexBlocksScratch(g, vertexWorkGrain, ar)
+	// The pass closures are hoisted out of the round loop (they read the
+	// round index t through the capture) so a warmed run allocates nothing
+	// per round.
+	t := 0
+	// V_t^active = {v ∈ V_{t-1}^active : y_{v,t-1} ≤ T_{v,t}} with
+	// y_{v,t-1} = Σ_{e∈E(v)} x_{e,t-1} gathered in the same pass.
+	vertexPass := func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			for v := vb[b]; v < vb[b+1]; v++ {
+				if !active[v] {
+					continue
+				}
+				var s float64
+				for _, e := range g.Incident(v) {
+					s += x[e]
+				}
+				if s > thresholds(v, t) {
+					active[v] = false
+				}
 			}
 		}
-		// E_t^active = edges between active vertices with x ≤ r/2; double them.
-		for e := range x {
+	}
+	// E_t^active = edges between active vertices with x ≤ r/2; double them.
+	edgePass := func(lo, hi int) {
+		for e := lo; e < hi; e++ {
 			ed := g.Edges[e]
 			if active[ed.U] && active[ed.V] && x[e] <= p.R[e]/2 {
 				x[e] *= 2
 			}
 		}
+	}
+	for t = 1; t <= T; t++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		//lint:parallel blocks write disjoint active[v] slots; each vertex's sum is its own CSR-order fold
+		par.ParallelForBlocks(workers, len(vb)-1, 1, vertexPass)
+		//lint:parallel elementwise over edges: x[e] is written only by e's own block
+		par.ParallelForBlocks(workers, len(x), edgeGrain, edgePass)
 	}
 	return nil
 }

@@ -77,6 +77,9 @@ func (p *Problem) FullMPCCtx(ctx context.Context, params MPCParams, r *rng.RNG) 
 		active[e] = int32(e)
 	}
 	ySum := ar.F64Raw(n) // vertex-sum scratch, reused every iteration
+	// Degree-balanced vertex blocks of the full graph, computed once and
+	// reused by every iteration's fused vertex-sum gathers.
+	vb := vertexBlocksScratch(g, vertexWorkGrain, ar)
 	switchBelow := params.SwitchFactor * float64(n) * math.Log2(float64(n)+2)
 	stallStreak := 0
 
@@ -92,7 +95,8 @@ func (p *Problem) FullMPCCtx(ctx context.Context, params MPCParams, r *rng.RNG) 
 		iterMark := ar.Mark()
 
 		// Remaining capacities w.r.t. the accumulated solution (lines 6-7).
-		y := p.VertexSumsInto(ySum, res.X)
+		p.vertexSumsGather(ySum, res.X, params.Workers, vb)
+		y := ySum
 		bRem := ar.F64Raw(n)
 		for v := 0; v < n; v++ {
 			bRem[v] = math.Max(0, p.B[v]-y[v])
@@ -138,7 +142,7 @@ func (p *Problem) FullMPCCtx(ctx context.Context, params MPCParams, r *rng.RNG) 
 			}
 		} else {
 			xPrime = ar.F64Raw(len(orig))
-			if err := subProb.sequentialInto(ctx, xPrime, TightRounds(len(active)), nil, r.Split(), ar); err != nil {
+			if err := subProb.sequentialInto(ctx, xPrime, TightRounds(len(active)), nil, r.Split(), ar, params.Workers); err != nil {
 				return nil, err
 			}
 			res.SequentialSteps++
@@ -152,7 +156,7 @@ func (p *Problem) FullMPCCtx(ctx context.Context, params MPCParams, r *rng.RNG) 
 
 		// E_active ← E_active ∩ E_loose(x, 0.05) (line 14), with looseness
 		// measured against the ORIGINAL capacities.
-		active = p.intersectLoose(active, res.X, 0.05, ySum)
+		active = p.intersectLoose(active, res.X, 0.05, ySum, params.Workers, vb)
 		ar.Release(iterMark)
 		if len(active) >= stat.ActiveEdges {
 			stallStreak++
@@ -166,9 +170,10 @@ func (p *Problem) FullMPCCtx(ctx context.Context, params MPCParams, r *rng.RNG) 
 }
 
 // intersectLoose returns the members of active that lie in E_loose(x, α),
-// using y (len n) as vertex-sum scratch.
-func (p *Problem) intersectLoose(active []int32, x []float64, alpha float64, y []float64) []int32 {
-	p.VertexSumsInto(y, x)
+// using y (len n) as vertex-sum scratch and vb as the blocked gather's
+// vertex-block boundaries. The in-place compaction keeps ascending order.
+func (p *Problem) intersectLoose(active []int32, x []float64, alpha float64, y []float64, workers int, vb []int32) []int32 {
+	p.vertexSumsGather(y, x, workers, vb)
 	out := active[:0]
 	for _, e := range active {
 		ed := p.G.Edges[e]

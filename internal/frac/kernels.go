@@ -1,0 +1,178 @@
+// Blocked, pass-fused CSR kernels. Every kernel here is bit-identical to
+// the serial multi-pass loop it replaced, for every worker count and every
+// block partition, because of two structural facts:
+//
+//   - Per-vertex float64 accumulation happens by walking the vertex's CSR
+//     incidence list, whose order (ascending edge id) is exactly the order
+//     in which the old serial edge sweep added into that vertex's slot. A
+//     vertex's sum is one fixed left-fold either way.
+//   - Block boundaries are derived from the graph and a grain only — never
+//     from the worker count (par.ParallelForBlocks contract) — and blocks
+//     write disjoint index ranges, so there is no cross-block reduction of
+//     floats at all; int counts combine in ascending block order.
+//
+// Vertex blocks are degree-balanced (cut every ~vertexWorkGrain incident
+// edges, not every k vertices), so a skewed-degree graph spreads its work
+// instead of serializing behind its heaviest vertices' home block.
+package frac
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/scratch"
+)
+
+// Kernel grains: indices (edges) per block for elementwise edge sweeps,
+// and incident-edge work per degree-balanced vertex block. Variables so
+// the fusion determinism harness can shrink them to force many blocks on
+// small test graphs; production code treats them as constants.
+var (
+	edgeGrain       = 1 << 14
+	vertexWorkGrain = 1 << 14
+)
+
+// vertexBlockCap bounds the boundary count vertexBlocksScratch can emit:
+// every interior cut consumes ≥ grain of the 2m total incident-edge work.
+func vertexBlockCap(g *graph.Graph, grain int) int {
+	c := 2*g.M()/grain + 3
+	if c > g.N+2 {
+		c = g.N + 2
+	}
+	return c
+}
+
+// vertexBlocksScratch cuts the vertex range [0, n) into contiguous blocks
+// of roughly grain incident edges each and returns the boundary list
+// (boundaries[b] .. boundaries[b+1] is block b; first entry 0, last n).
+// Boundaries depend only on the graph and grain.
+func vertexBlocksScratch(g *graph.Graph, grain int, ar *scratch.Arena) []int32 {
+	buf := ar.I32Raw(vertexBlockCap(g, grain))
+	return vertexBlocksInto(g, grain, buf[:0])
+}
+
+// vertexBlocksInto is vertexBlocksScratch appending into dst (the caller
+// guarantees capacity ≥ vertexBlockCap when dst must not grow).
+func vertexBlocksInto(g *graph.Graph, grain int, dst []int32) []int32 {
+	return g.DegreeBlocks(grain, dst)
+}
+
+// vertexSumsGather writes dst[v] = Σ_{e∈E(v)} x[e] for every vertex, one
+// degree-balanced block per scheduling claim. vb is a boundary list from
+// vertexBlocksScratch.
+func (p *Problem) vertexSumsGather(dst, x []float64, workers int, vb []int32) {
+	g := p.G
+	//lint:parallel blocks write disjoint dst[v] ranges; each vertex sum is its own CSR-order left-fold, independent of the partition
+	par.ParallelForBlocks(workers, len(vb)-1, 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			for v := vb[b]; v < vb[b+1]; v++ {
+				var s float64
+				for _, e := range g.Incident(v) {
+					s += x[e]
+				}
+				dst[v] = s
+			}
+		}
+	})
+}
+
+// vLooseGather fuses the vertex-sum gather with the looseness indicator:
+// y[v] = Σ_{e∈E(v)} x[e] and dst[v] = (y[v] < alpha·b_v) in one CSR walk.
+func (p *Problem) vLooseGather(dst []bool, y, x []float64, alpha float64, workers int, vb []int32) {
+	g := p.G
+	//lint:parallel blocks write disjoint dst/y ranges; per-vertex sum and compare don't depend on the partition
+	par.ParallelForBlocks(workers, len(vb)-1, 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			for v := vb[b]; v < vb[b+1]; v++ {
+				var s float64
+				for _, e := range g.Incident(v) {
+					s += x[e]
+				}
+				y[v] = s
+				dst[v] = s < alpha*p.B[v]
+			}
+		}
+	})
+}
+
+// initialValuesWorkers is the blocked InitialValuesInto: the q pass is
+// elementwise over vertices, the x pass elementwise over edges, so both
+// edge-partition trivially.
+func (p *Problem) initialValuesWorkers(dst, q []float64, avgDeg float64, workers int) []float64 {
+	g := p.G
+	//lint:parallel elementwise over vertices: q[v] depends only on v
+	par.ParallelForBlocks(workers, g.N, edgeGrain, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			den := math.Max(float64(g.Deg(int32(v))), avgDeg)
+			if den <= 0 {
+				q[v] = 0
+				continue
+			}
+			q[v] = 0.8 * p.B[v] / den
+		}
+	})
+	//lint:parallel elementwise over edges: dst[e] depends only on e
+	par.ParallelForBlocks(workers, g.M(), edgeGrain, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			ed := g.Edges[e]
+			dst[e] = math.Min(p.R[e], math.Min(q[ed.U], q[ed.V]))
+		}
+	})
+	return dst
+}
+
+// eLooseWorkers is the blocked ELoose: the fused vertex pass computes the
+// V_loose indicator, then two elementwise edge passes (count, fill) emit
+// the loose edge ids in ascending order — per-block counts combine in
+// ascending block order, so the output is the serial append order exactly.
+func (p *Problem) eLooseWorkers(x []float64, alpha float64, workers int) []int32 {
+	g := p.G
+	ar, done := scratch.Borrow(nil)
+	defer done()
+	vb := vertexBlocksScratch(g, vertexWorkGrain, ar)
+	vl := ar.BoolRaw(g.N)
+	p.vLooseGather(vl, ar.F64Raw(g.N), x, alpha, workers, vb)
+
+	m := g.M()
+	blocks := (m + edgeGrain - 1) / edgeGrain
+	if blocks == 0 {
+		return nil
+	}
+	counts := ar.I32(blocks)
+	loose := func(e int) bool {
+		ed := g.Edges[e]
+		return x[e] < alpha*p.R[e] && vl[ed.U] && vl[ed.V]
+	}
+	//lint:parallel blocks write disjoint counts slots; the per-edge predicate is pure
+	par.ParallelForBlocks(workers, m, edgeGrain, func(lo, hi int) {
+		var c int32
+		for e := lo; e < hi; e++ {
+			if loose(e) {
+				c++
+			}
+		}
+		counts[lo/edgeGrain] = c
+	})
+	total := int32(0)
+	for b := 0; b < blocks; b++ {
+		c := counts[b]
+		counts[b] = total
+		total += c
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]int32, total)
+	//lint:parallel blocks fill disjoint out regions at their ascending-order offsets
+	par.ParallelForBlocks(workers, m, edgeGrain, func(lo, hi int) {
+		idx := counts[lo/edgeGrain]
+		for e := lo; e < hi; e++ {
+			if loose(e) {
+				out[idx] = int32(e)
+				idx++
+			}
+		}
+	})
+	return out
+}

@@ -22,9 +22,11 @@ package frac
 import (
 	"context"
 	"math"
+	"math/bits"
 	"slices"
 
 	"repro/internal/mpc"
+	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/scratch"
 )
@@ -143,11 +145,12 @@ func (p *Problem) OneRoundMPCCtx(ctx context.Context, params MPCParams, threshol
 	if thresholds == nil {
 		thresholds = newThresholdsScratch(p, T, r, ar)
 	}
+	workers := params.Workers
 	x0 := ar.F64Raw(m)
 	if params.InitNoClamp {
 		p.initialValuesUnclampedInto(x0, ar.F64Raw(n))
 	} else {
-		p.InitialValuesInto(x0, ar.F64Raw(n), davg)
+		p.initialValuesWorkers(x0, ar.F64Raw(n), davg, workers)
 	}
 
 	// Random vertex partition (line 3 of Algorithm 2).
@@ -172,73 +175,92 @@ func (p *Problem) OneRoundMPCCtx(ctx context.Context, params MPCParams, threshol
 
 	// Input layout (arbitrary initial distribution, as the model allows):
 	// edge e starts at machine e mod mtot. CSR: machine h's edges are
-	// seList[seStart[h]:seStart[h+1]], ascending.
+	// seList[seStart[h]:seStart[h+1]], ascending. Machine h holds every
+	// edge ≡ h (mod mtot), so the counts are m/mtot (+1 for the first
+	// m mod mtot machines) in closed form, and edge e's slot is its rank
+	// e/mtot within its machine — the fill pass is elementwise.
 	seStart := ar.I32(mtot + 1)
-	for e := 0; e < m; e++ {
-		seStart[e%mtot+1]++
-	}
 	for i := 0; i < mtot; i++ {
-		seStart[i+1] += seStart[i]
+		c := int32(m / mtot)
+		if i < m%mtot {
+			c++
+		}
+		seStart[i+1] = seStart[i] + c
 	}
 	seList := ar.I32Raw(m)
-	{
-		fill := ar.I32(mtot)
-		for e := 0; e < m; e++ {
-			h := e % mtot
-			seList[seStart[h]+fill[h]] = int32(e)
-			fill[h]++
-		}
-	}
-
 	// holder[e]: machine that computes x̃_e after the shuffle. Induced edges
 	// move to their partition's machine; crossing edges stay at their start.
 	holder := ar.I32Raw(m)
 	induced := ar.BoolRaw(m)
-	for e := 0; e < m; e++ {
-		ed := g.Edges[e]
-		if iv[ed.U] == iv[ed.V] {
-			holder[e] = iv[ed.U]
-			induced[e] = true
-		} else {
-			holder[e] = int32(e % mtot)
-			induced[e] = false
+	//lint:parallel elementwise over edges: slot seStart[e%mtot]+e/mtot, holder[e], induced[e] are written only by e's own block
+	par.ParallelForBlocks(workers, m, edgeGrain, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			seList[int(seStart[e%mtot])+e/mtot] = int32(e)
+			ed := g.Edges[e]
+			if iv[ed.U] == iv[ed.V] {
+				holder[e] = iv[ed.U]
+				induced[e] = true
+			} else {
+				holder[e] = int32(e % mtot)
+				induced[e] = false
+			}
 		}
-	}
+	})
 
 	// vertexToHolders: machines holding an edge incident to v, deduped with
 	// a timestamp array so the whole pass is O(m). CSR: v's holders are
 	// vthList[vthStart[v]:vthStart[v+1]], in first-occurrence order of
-	// Incident(v).
+	// Incident(v). Both passes run over degree-balanced vertex blocks: a
+	// vertex's holder set is computed entirely within its own block, and the
+	// stamp dedupe only ever compares against the current vertex id, so a
+	// per-callback stamp array (initialized to -1) dedupes exactly like the
+	// single serial one did.
+	vbm := vertexBlocksScratch(g, vertexWorkGrain, ar)
 	vthStart := ar.I32(n + 1)
-	stamp := ar.I32Raw(mtot)
-	for i := range stamp {
-		stamp[i] = -1
-	}
-	for v := 0; v < n; v++ {
-		for _, e := range g.Incident(int32(v)) {
-			if h := holder[e]; stamp[h] != int32(v) {
-				stamp[h] = int32(v)
-				vthStart[v+1]++
+	//lint:parallel blocks write disjoint vthStart slots; per-callback stamp arrays dedupe identically because the test only matches the current vertex id
+	par.ParallelForBlocks(workers, len(vbm)-1, 1, func(lo, hi int) {
+		a2 := scratch.Get()
+		defer scratch.Put(a2)
+		stamp := a2.I32Raw(mtot)
+		for i := range stamp {
+			stamp[i] = -1
+		}
+		for b := lo; b < hi; b++ {
+			for v := vbm[b]; v < vbm[b+1]; v++ {
+				for _, e := range g.Incident(v) {
+					if h := holder[e]; stamp[h] != v {
+						stamp[h] = v
+						vthStart[v+1]++
+					}
+				}
 			}
 		}
-	}
+	})
 	for v := 0; v < n; v++ {
 		vthStart[v+1] += vthStart[v]
 	}
 	vthList := ar.I32Raw(int(vthStart[n]))
-	for i := range stamp {
-		stamp[i] = -1
-	}
-	for v := 0; v < n; v++ {
-		idx := vthStart[v]
-		for _, e := range g.Incident(int32(v)) {
-			if h := holder[e]; stamp[h] != int32(v) {
-				stamp[h] = int32(v)
-				vthList[idx] = h
-				idx++
+	//lint:parallel blocks fill disjoint vthList ranges [vthStart[v], vthStart[v+1]); dedupe as above
+	par.ParallelForBlocks(workers, len(vbm)-1, 1, func(lo, hi int) {
+		a2 := scratch.Get()
+		defer scratch.Put(a2)
+		stamp := a2.I32Raw(mtot)
+		for i := range stamp {
+			stamp[i] = -1
+		}
+		for b := lo; b < hi; b++ {
+			for v := vbm[b]; v < vbm[b+1]; v++ {
+				idx := vthStart[v]
+				for _, e := range g.Incident(v) {
+					if h := holder[e]; stamp[h] != v {
+						stamp[h] = v
+						vthList[idx] = h
+						idx++
+					}
+				}
 			}
 		}
-	}
+	})
 	vth := func(v int32) []int32 { return vthList[vthStart[v]:vthStart[v+1]] }
 
 	// partitionVertices: vertices assigned to partition i, ascending. CSR.
@@ -258,6 +280,36 @@ func (p *Problem) OneRoundMPCCtx(ctx context.Context, params MPCParams, threshol
 			fill[i]++
 		}
 	}
+
+	// Payload slabs. Message payloads outlive the callback that sends them
+	// (they are consumed next round), so they cannot come from the pooled
+	// per-callback arenas — but they never outlive this step, so they CAN
+	// come from the step's arena. Serial prepasses size every machine's
+	// region exactly; the parallel callbacks then only slice their own
+	// region, so no arena call ever runs concurrently.
+	//
+	// Round 1 sends one int32 per induced edge, from the edge's start
+	// machine e mod mtot.
+	r1Off := ar.I32(mtot + 1)
+	for e := 0; e < m; e++ {
+		if induced[e] {
+			r1Off[e%mtot+1]++
+		}
+	}
+	for i := 0; i < mtot; i++ {
+		r1Off[i+1] += r1Off[i]
+	}
+	r1Slab := ar.I32Raw(int(r1Off[mtot]))
+	// Round 2 sends one packed int64 per (partition vertex, holder) pair;
+	// machine i's share is Σ_{v in partition i} |vth(v)|.
+	r2Off := ar.I32(N + 1)
+	for v := 0; v < n; v++ {
+		r2Off[iv[v]+1] += vthStart[v+1] - vthStart[v]
+	}
+	for i := 0; i < N; i++ {
+		r2Off[i+1] += r2Off[i]
+	}
+	r2Slab := ar.I64Raw(int(r2Off[N]))
 
 	// Shared result/working arrays; each machine writes only slots it owns
 	// (its partition's vertices, its held edges), so concurrent writes are
@@ -286,9 +338,9 @@ func (p *Problem) OneRoundMPCCtx(ctx context.Context, params MPCParams, threshol
 			}
 		}
 		if sent > 0 {
-			// Payloads outlive this callback (consumed next round), so the
-			// batch slab is heap-allocated and carved per destination.
-			flat := make([]int32, sent)
+			// Payloads outlive this callback (consumed next round); this
+			// machine's pre-sized slab region is carved per destination.
+			flat := r1Slab[r1Off[mm.ID]:r1Off[mm.ID+1]]
 			off := a2.I32Raw(mtot)
 			o := int32(0)
 			for d := 0; d < mtot; d++ {
@@ -354,6 +406,32 @@ func (p *Problem) OneRoundMPCCtx(ctx context.Context, params MPCParams, threshol
 	}
 	held := func(i int) []int32 { return heList[heStart[i]:heStart[i+1]] }
 
+	// Round 3 sends one (vertex, bits) int64 pair per distinct endpoint of a
+	// machine's held edges; a serial stamp prepass counts them exactly.
+	r3Off := ar.I32(mtot + 1)
+	{
+		stamp := ar.I32Raw(n)
+		for i := range stamp {
+			stamp[i] = -1
+		}
+		for i := 0; i < mtot; i++ {
+			c := int32(0)
+			for _, e := range held(i) {
+				ed := g.Edges[e]
+				if stamp[ed.U] != int32(i) {
+					stamp[ed.U] = int32(i)
+					c++
+				}
+				if stamp[ed.V] != int32(i) {
+					stamp[ed.V] = int32(i)
+					c++
+				}
+			}
+			r3Off[i+1] = r3Off[i] + c
+		}
+	}
+	r3Slab := ar.I64Raw(2 * int(r3Off[mtot]))
+
 	// Local induced edges per partition machine (held ∩ induced), in held
 	// order. CSR over the first N machines.
 	leStart := ar.I32(N + 1)
@@ -388,47 +466,63 @@ func (p *Problem) OneRoundMPCCtx(ctx context.Context, params MPCParams, threshol
 		verts := pvList[pvStart[mm.ID]:pvStart[mm.ID+1]]
 		locals := leList[leStart[mm.ID]:leStart[mm.ID+1]]
 		mm.Charge(int64(len(locals) + len(verts)))
+		// Fused init sweep: activity flags and the round-1 estimate sums in
+		// one pass each. ySum accumulates x̃_{e,0} in ascending local-edge
+		// order — the exact order of the zero-then-accumulate passes this
+		// replaced, so every per-vertex sum is the same left-fold.
 		for _, v := range verts {
 			act[v] = true
 			lastActive[v] = 0
+			ySum[v] = 0
 		}
-		for _, e := range locals {
-			xw[e] = x0[e]
+		if T > 0 {
+			for _, e := range locals {
+				xw[e] = x0[e]
+				ed := g.Edges[e]
+				ySum[ed.U] += x0[e]
+				ySum[ed.V] += x0[e]
+			}
+		} else {
+			for _, e := range locals {
+				xw[e] = x0[e]
+			}
 		}
 		for t := 1; t <= T; t++ {
-			// ỹ_{v,t-1} = N · Σ_{e∈E_local(v)} x̃_{e,t-1}
+			// Fused vertex sweep: threshold-compare ỹ_{v,t-1} = N·ySum[v]
+			// and reset the accumulator for round t's sums in one pass.
 			for _, v := range verts {
+				if act[v] {
+					if float64(N)*ySum[v] > thresholds(v, t) {
+						act[v] = false
+					} else {
+						lastActive[v] = int32(t)
+					}
+				}
 				ySum[v] = 0
 			}
-			for _, e := range locals {
-				ed := g.Edges[e]
-				ySum[ed.U] += xw[e]
-				ySum[ed.V] += xw[e]
-			}
-			for _, v := range verts {
-				if !act[v] {
-					continue
-				}
-				if float64(N)*ySum[v] > thresholds(v, t) {
-					act[v] = false
-				} else {
-					lastActive[v] = int32(t)
-				}
-			}
+			// Fused edge sweep: double x̃_e and accumulate the post-update
+			// value into the next round's estimate sums. The doubling of e
+			// happens before e's own accumulation and cannot affect earlier
+			// edges, so the additions are the same values in the same
+			// ascending order as the separate accumulate pass at the top of
+			// round t+1 was.
+			last := t == T
 			for _, e := range locals {
 				ed := g.Edges[e]
 				if act[ed.U] && act[ed.V] && xw[e] <= p.R[e]/2 {
 					xw[e] *= 2
 				}
+				if !last {
+					ySum[ed.U] += xw[e]
+					ySum[ed.V] += xw[e]
+				}
 			}
 		}
 		// Scatter activity horizons to the machines that need them, batched
-		// per destination in vertex order.
-		total := 0
-		for _, v := range verts {
-			total += len(vth(v))
-		}
-		if total == 0 {
+		// per destination in vertex order, into this machine's pre-sized
+		// slab region.
+		flat := r2Slab[r2Off[mm.ID]:r2Off[mm.ID+1]]
+		if len(flat) == 0 {
 			return
 		}
 		a2 := scratch.Get()
@@ -439,7 +533,6 @@ func (p *Problem) OneRoundMPCCtx(ctx context.Context, params MPCParams, threshol
 				cnt[h]++
 			}
 		}
-		flat := make([]int64, total)
 		off := a2.I32Raw(mtot)
 		o := int32(0)
 		for d := 0; d < mtot; d++ {
@@ -509,14 +602,29 @@ func (p *Problem) OneRoundMPCCtx(ctx context.Context, params MPCParams, threshol
 		if len(touched) == 0 {
 			return
 		}
-		slices.Sort(touched)
+		// Emission must be in ascending vertex order (it fixes the send
+		// sequence, hence the delivered byte order). Sorting and rebuilding
+		// from the seen bitmap produce the identical list; pick whichever
+		// is cheaper — a dense machine rebuilds in O(n) instead of paying
+		// the comparison sort.
+		if t := len(touched); t > 64 && n < t*bits.Len(uint(t)) {
+			touched = touched[:0]
+			for v := int32(0); v < int32(n); v++ {
+				if seen[v] {
+					touched = append(touched, v)
+				}
+			}
+		} else {
+			slices.Sort(touched)
+		}
 		cnt := a2.I32(mtot)
 		for _, v := range touched {
 			cnt[int(v)%mtot]++
 		}
-		// Interleaved (vertex, float64-bits) pairs; words stay one per
-		// vertex entry, as before batching.
-		flat := make([]int64, 2*len(touched))
+		// Interleaved (vertex, float64-bits) pairs in this machine's
+		// pre-sized slab region; words stay one per vertex entry, as
+		// before batching.
+		flat := r3Slab[2*r3Off[mm.ID] : 2*r3Off[mm.ID+1]]
 		off := a2.I32Raw(mtot)
 		o := int32(0)
 		for d := 0; d < mtot; d++ {

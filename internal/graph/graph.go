@@ -12,6 +12,7 @@ package graph
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 
 	"repro/internal/par"
@@ -91,6 +92,14 @@ func (g *Graph) buildAdjWorkers(workers int) {
 	m := len(g.Edges)
 	n := g.N
 	workers = par.PoolSize(workers)
+	// Oversubscription guard: more workers than CPUs cannot speed up a
+	// memory-bound build, but each extra shard still costs n counting words
+	// and a merge column, so cap at GOMAXPROCS. On a single-CPU machine
+	// this drops straight to the serial build — the parallel path's only
+	// possible outcome there is overhead.
+	if gm := runtime.GOMAXPROCS(0); workers > gm {
+		workers = gm
+	}
 	// Sparse guard: the sharded passes allocate shards·n counting words, so
 	// they only pay off when edges dominate vertices. Requiring m ≥ 2n and
 	// capping shards at m/n bounds the transient arrays by ~4m bytes —
@@ -122,10 +131,12 @@ func (g *Graph) buildAdjWorkers(workers int) {
 
 	// Pass 2 (parallel per-vertex scan): fold the per-shard counts into
 	// exclusive per-shard write bases and leave each vertex's total degree
-	// in adjStart[v+1].
+	// in adjStart[v+1]. Fixed-grain blocks: boundaries don't depend on the
+	// worker count (the layout never did either, but now the partition
+	// itself is machine-independent too).
 	adjStart := make([]int32, n+1)
-	par.ParallelFor(workers, workers, func(bi int) {
-		for v := bi * n / workers; v < (bi+1)*n/workers; v++ {
+	par.ParallelForBlocks(workers, n, 1<<14, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
 			var run int32
 			for s := 0; s < shards; s++ {
 				c := counts[s][v]
@@ -190,6 +201,27 @@ func (g *Graph) Deg(v int32) int {
 // internal storage and must not be modified.
 func (g *Graph) Incident(v int32) []int32 {
 	return g.adjEdges[g.adjStart[v]:g.adjStart[v+1]]
+}
+
+// DegreeBlocks appends to dst the boundary list of contiguous vertex blocks
+// holding roughly grain incident edges each (first entry 0, last N): block b
+// is [dst[b], dst[b+1]). Degree-balanced blocks let blocked kernels spread a
+// skewed-degree graph's work instead of serializing behind the heaviest
+// vertices' home block. Boundaries depend only on the graph and grain —
+// never on a worker count — which is what makes per-block partial results
+// combinable into a bit-identical total on any machine (the
+// par.ParallelForBlocks contract).
+func (g *Graph) DegreeBlocks(grain int, dst []int32) []int32 {
+	dst = append(dst, 0)
+	acc := 0
+	for v := 0; v < g.N; v++ {
+		acc += g.Deg(int32(v))
+		if acc >= grain && v+1 < g.N {
+			dst = append(dst, int32(v+1))
+			acc = 0
+		}
+	}
+	return append(dst, int32(g.N))
 }
 
 // AvgDeg returns the average degree d̄ = 2m/n. For an empty vertex set it

@@ -5,6 +5,8 @@ package nondeterminism
 import (
 	"math/rand" // want "use repro/internal/rng"
 	"time"
+
+	"repro/internal/par"
 )
 
 func wallClock() time.Duration {
@@ -25,3 +27,23 @@ func annotatedGoroutine(ch chan int) {
 
 // durationsAreFine uses time's pure declarations only.
 func durationsAreFine(d time.Duration) time.Duration { return d + time.Second }
+
+func unauditedPool(dst []int) {
+	par.ParallelFor(0, len(dst), func(i int) { dst[i] = i })  // want "par.ParallelFor call site"
+	par.ParallelForBlocks(0, len(dst), 64, func(lo, hi int) { // want "par.ParallelForBlocks call site"
+		for i := lo; i < hi; i++ {
+			dst[i] = i
+		}
+	})
+}
+
+func auditedPool(dst []int) {
+	//lint:parallel each index writes only its own slot
+	par.ParallelFor(0, len(dst), func(i int) { dst[i] = i })
+	//lint:parallel blocks write disjoint dst ranges
+	par.ParallelForBlocks(0, len(dst), 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = i
+		}
+	})
+}

@@ -27,15 +27,20 @@ func BenchmarkDelivery(b *testing.B) {
 	for _, workers := range workerCounts() {
 		b.Run(fmt.Sprintf("n=%d/fanout=%d/workers=%d", n, fanout, workers), func(b *testing.B) {
 			s := NewSimWithWorkers(n, workers)
+			round := func(m *Machine) {
+				base := m.ID * 31
+				for j := 0; j < fanout; j++ {
+					m.Send((base+j*17)%n, int64(j%13), j%256, 1)
+				}
+			}
+			// One warmup round populates the shard state and buffer pools,
+			// so short -benchtime runs (CI uses 1x) measure the steady
+			// state rather than first-round allocation.
+			s.Round(round)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				s.Round(func(m *Machine) {
-					base := m.ID * 31
-					for j := 0; j < fanout; j++ {
-						m.Send((base+j*17)%n, int64(j%13), j%256, 1)
-					}
-				})
+				s.Round(round)
 			}
 		})
 	}
@@ -48,15 +53,17 @@ func BenchmarkDeliveryExchange(b *testing.B) {
 	for _, workers := range workerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			s := NewSimWithWorkers(n, workers)
+			round := func(m *Machine) {
+				base := m.ID * 29
+				for j := 0; j < fanout; j++ {
+					m.Send((base+j*13)%n, int64(j%7), j%256, 1)
+				}
+			}
+			s.Exchange(round) // warm the shard state (see BenchmarkDelivery)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				out := s.Exchange(func(m *Machine) {
-					base := m.ID * 29
-					for j := 0; j < fanout; j++ {
-						m.Send((base+j*13)%n, int64(j%7), j%256, 1)
-					}
-				})
+				out := s.Exchange(round)
 				if len(out) != n {
 					b.Fatal("lost inboxes")
 				}

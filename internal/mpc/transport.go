@@ -3,6 +3,7 @@ package mpc
 import (
 	"cmp"
 	"context"
+	"runtime"
 	"slices"
 )
 
@@ -124,14 +125,38 @@ func newInprocTransport(n, workers int) *inprocTransport {
 
 func (t *inprocTransport) Close() error { return nil }
 
+// deliverShardGrain is the messages-per-shard target of the traffic-based
+// shard sizing: a shard only exists once there is about this much bucketing
+// work to give it, since every shard adds O(n) count/merge state per round.
+const deliverShardGrain = 1 << 12
+
 // Deliver routes every outbox to its destination inbox. The pipeline is
 // parallel but bit-for-bit deterministic: each worker owns a contiguous
 // ascending range of sender ids, per-destination shard regions are
-// concatenated in worker (= sender) order, and the final per-destination
-// sort is by the (sender, key, seq) total order.
+// concatenated in shard (= sender) order, and the final per-destination
+// sort is by the (sender, key, seq) total order — so shard count and
+// boundaries are free to adapt to the round's traffic without changing a
+// single delivered byte.
 func (t *inprocTransport) Deliver(tr *RoundTraffic) ([][]Message, error) {
 	n := t.n
+	// Shard count: the requested width, capped at GOMAXPROCS (extra shards
+	// on an oversubscribed machine add O(n) merge state with no CPU to run
+	// them — the cause of the workers=4 delivery regression on small
+	// machines) and at the round's traffic (a near-empty round runs serial).
+	total := 0
+	for sender := 0; sender < n; sender++ {
+		total += len(tr.Outbox[sender])
+	}
 	w := t.workers
+	if gm := runtime.GOMAXPROCS(0); w > gm {
+		w = gm
+	}
+	if byTraffic := total/deliverShardGrain + 1; w > byTraffic {
+		w = byTraffic
+	}
+	if w < 1 {
+		w = 1
+	}
 	if len(t.shards) < w {
 		t.shards = make([]deliverShard, w)
 		for i := range t.shards {
@@ -143,16 +168,30 @@ func (t *inprocTransport) Deliver(tr *RoundTraffic) ([][]Message, error) {
 		}
 	}
 	shards := t.shards[:w]
-	chunk := (n + w - 1) / w
+
+	// Traffic-balanced sender ranges: cut where the cumulative message
+	// count crosses the per-shard target, so a few chatty senders don't
+	// serialize the bucketing passes behind one shard.
+	target := (total + w - 1) / w
+	si, lo, acc := 0, 0, 0
+	for sender := 0; sender < n && si < w-1; sender++ {
+		acc += len(tr.Outbox[sender])
+		if acc >= target && sender+1 < n {
+			shards[si].lo, shards[si].hi = lo, sender+1
+			si++
+			lo = sender + 1
+			acc = 0
+		}
+	}
+	shards[si].lo, shards[si].hi = lo, n
+	for si++; si < w; si++ {
+		shards[si].lo, shards[si].hi = n, n
+	}
 
 	// Pass 1 (parallel): per-shard destination counts and word totals.
+	//lint:parallel each shard writes only its own count/words arrays over its own sender range
 	ParallelFor(w, w, func(wi int) {
 		sh := &shards[wi]
-		sh.lo = wi * chunk
-		sh.hi = sh.lo + chunk
-		if sh.hi > n {
-			sh.hi = n
-		}
 		for d := 0; d < n; d++ {
 			sh.count[d] = 0
 			sh.words[d] = 0
@@ -194,6 +233,7 @@ func (t *inprocTransport) Deliver(tr *RoundTraffic) ([][]Message, error) {
 	}
 
 	// Pass 2 (parallel): scatter messages into the disjoint shard regions.
+	//lint:parallel shards write disjoint cursor-assigned inbox regions; the final sort imposes the total order
 	ParallelFor(w, w, func(wi int) {
 		sh := &shards[wi]
 		for sender := sh.lo; sender < sh.hi; sender++ {
@@ -206,6 +246,7 @@ func (t *inprocTransport) Deliver(tr *RoundTraffic) ([][]Message, error) {
 
 	// Pass 3 (parallel): per-destination inbox sorts into the documented
 	// (sender, key, send order) total order.
+	//lint:parallel each destination's inbox is sorted in place by the unique (sender, key, seq) total order
 	ParallelFor(w, n, func(d int) {
 		if len(next[d]) >= 2 {
 			SortInbox(next[d])

@@ -26,6 +26,73 @@ func PoolSize(workers int) int {
 // ordinary panic regardless of which worker hit it. Iteration order is
 // unspecified; f must be safe for the concurrency it is given.
 func ParallelFor(workers, n int, f func(int)) {
+	forEach(workers, n, f)
+}
+
+// ParallelForBlocks runs f over the blocks of [0, n) cut every grain
+// indices: f(0, grain), f(grain, 2·grain), ..., f(·, n). It is the blocked
+// counterpart of ParallelFor for bandwidth-bound loops — one scheduling
+// claim per block instead of one atomic per index.
+//
+// Determinism contract: block boundaries are derived from n and grain
+// ONLY, never from workers or GOMAXPROCS, so any per-block partial results
+// a caller collects can be combined in ascending block order and the
+// combined result is bit-identical for every worker count. Only the
+// scheduling width adapts to the machine: min(workers, GOMAXPROCS,
+// blocks) goroutines (workers ≤ 0 selects GOMAXPROCS), which also gives
+// small inputs (n ≤ grain) a free serial fast path. grain ≤ 0 selects a
+// single block. Panic semantics are those of ParallelFor.
+func ParallelForBlocks(workers, n, grain int, f func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 || grain > n {
+		grain = n
+	}
+	blocks := (n + grain - 1) / grain
+	width := PoolSize(workers)
+	if gm := runtime.GOMAXPROCS(0); width > gm {
+		width = gm
+	}
+	if width > blocks {
+		width = blocks
+	}
+	if width <= 1 {
+		// Allocation-free serial fast path (hot loops pin warmed allocs):
+		// same blocks, ascending, with the usual run-all-then-reraise
+		// panic contract.
+		var first any
+		for b := 0; b < blocks; b++ {
+			lo := b * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil && first == nil {
+						first = r
+					}
+				}()
+				f(lo, hi)
+			}()
+		}
+		if first != nil {
+			panic(first)
+		}
+		return
+	}
+	forEach(width, blocks, func(b int) {
+		lo := b * grain
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		f(lo, hi)
+	})
+}
+
+func forEach(workers, n int, f func(int)) {
 	workers = PoolSize(workers)
 	if workers > n {
 		workers = n

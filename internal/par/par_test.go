@@ -1,6 +1,7 @@
 package par
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -39,6 +40,87 @@ func TestParallelForReraisesPanic(t *testing.T) {
 			t.Fatalf("workers=%d: only %d/8 items ran", workers, ran.Load())
 		}
 	}
+}
+
+func TestParallelForBlocksCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{1, 3, 7, 0} {
+		for _, grain := range []int{1, 7, 64, 97, 1000, 0, -1} {
+			var hits [97]atomic.Int32
+			ParallelForBlocks(workers, len(hits), grain, func(lo, hi int) {
+				if lo >= hi {
+					t.Fatalf("workers=%d grain=%d: empty block [%d,%d)", workers, grain, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					hits[i].Add(1)
+				}
+			})
+			for i := range hits {
+				if hits[i].Load() != 1 {
+					t.Fatalf("workers=%d grain=%d: index %d ran %d times", workers, grain, i, hits[i].Load())
+				}
+			}
+		}
+	}
+}
+
+// TestParallelForBlocksBoundariesIgnoreWorkers pins the determinism
+// contract: the set of (lo, hi) blocks depends only on n and grain, never
+// on the worker count.
+func TestParallelForBlocksBoundariesIgnoreWorkers(t *testing.T) {
+	const n, grain = 101, 8
+	collect := func(workers int) map[[2]int]bool {
+		var mu sync.Mutex
+		out := map[[2]int]bool{}
+		ParallelForBlocks(workers, n, grain, func(lo, hi int) {
+			mu.Lock()
+			out[[2]int{lo, hi}] = true
+			mu.Unlock()
+		})
+		return out
+	}
+	ref := collect(1)
+	for _, workers := range []int{2, 3, 4, 7, 0} {
+		got := collect(workers)
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d blocks, want %d", workers, len(got), len(ref))
+		}
+		for b := range ref {
+			if !got[b] {
+				t.Fatalf("workers=%d: missing block %v", workers, b)
+			}
+		}
+	}
+	// With grain 8 over 101 indices the boundaries are fully determined.
+	if !ref[[2]int{96, 101}] || !ref[[2]int{0, 8}] || len(ref) != 13 {
+		t.Fatalf("unexpected block set: %v", ref)
+	}
+}
+
+func TestParallelForBlocksReraisesPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("workers=%d: panic not re-raised", workers)
+				}
+			}()
+			ParallelForBlocks(workers, 64, 8, func(lo, hi int) {
+				ran.Add(int32(hi - lo))
+				if lo == 16 {
+					panic("boom")
+				}
+			})
+		}()
+		if ran.Load() != 64 {
+			t.Fatalf("workers=%d: only %d/64 indices ran", workers, ran.Load())
+		}
+	}
+}
+
+func TestParallelForBlocksEmptyRange(t *testing.T) {
+	ParallelForBlocks(4, 0, 8, func(lo, hi int) { t.Fatal("block ran on empty range") })
+	ParallelForBlocks(4, -3, 8, func(lo, hi int) { t.Fatal("block ran on negative range") })
 }
 
 func TestPoolSize(t *testing.T) {

@@ -103,6 +103,7 @@ func RoundCtx(ctx context.Context, g *graph.Graph, b graph.Budgets, x []float64,
 		rs[t] = r.Split()
 	}
 	trials := make([]*matching.BMatching, p.Repeats)
+	//lint:parallel trials write only their own slot with pre-split RNGs; the best trial is picked serially in trial order
 	mpc.ParallelFor(p.Workers, p.Repeats, func(t int) {
 		if ctx.Err() != nil {
 			return // result discarded below; skipping frees the pool fast

@@ -153,6 +153,7 @@ func OnePlusEpsWeightedCtx(ctx context.Context, g *graph.Graph, b graph.Budgets,
 				jobs = append(jobs, genJob{k: k, rB: r.Split(), rG: r.Split(), rR: r.Split()})
 			}
 		}
+		//lint:parallel jobs write only their own out slot with pre-split RNGs; the pool is assembled serially in job order
 		mpc.ParallelFor(params.Workers, len(jobs), func(j int) {
 			if ctx.Err() != nil {
 				return // round aborts below before using any job output
