@@ -8,6 +8,8 @@
 //	bmatch -algo approx  -gen gnm -n 2000 -m 40000 -b 3
 //	bmatch -algo max     -gen bipartite -n 400 -m 3000 -eps 0.25
 //	bmatch -algo maxw    -gen clientserver -n 2000 -seed 7 -workers 4
+//	bmatch -algo maxw    -gen assignment -n 2000 -m 12000
+//	bmatch -algo greedy  -gen skew -n 4000 -m 32000
 //	bmatch -algo frac    -gen gnm -n 1000 -m 20000
 //	bmatch -algo stream  -gen gnm -n 1000 -m 100000 -b 2
 //	bmatch -algo greedy  -input edges.txt -b 2
@@ -38,7 +40,7 @@ import (
 
 var (
 	algoFlag    = flag.String("algo", "approx", "approx | max | maxw | frac | stream | streamw | greedy")
-	genFlag     = flag.String("gen", "gnm", "gnm | bipartite | powerlaw | clientserver | star")
+	genFlag     = flag.String("gen", "gnm", "gnm | bipartite | assignment | powerlaw | skew | clientserver | star")
 	inputFlag   = flag.String("input", "", "read the graph from a file instead of generating")
 	nFlag       = flag.Int("n", 1000, "vertices (generators)")
 	mFlag       = flag.Int("m", 10000, "edges (generators)")
@@ -177,7 +179,27 @@ func buildInstance() (*graph.Graph, graph.Budgets, error) {
 			g = graph.Bipartite(n/2, n-n/2, m, r.Split())
 		}
 	case "powerlaw":
-		g = graph.ChungLu(n, m, 2.3, r.Split())
+		// The social-graph family: Chung-Lu degrees plus tie-strength
+		// weights and degree-scaled budgets (b(v) = 1+⌊√deg⌋, capped).
+		g, b = graph.PowerLawSocial(n, m, 2.3, r.Split())
+		return g, overrideBudgets(b), nil
+	case "assignment":
+		// Bipartite assignment market: ~1 firm per 8 workers, degree sized
+		// so the application count lands near -m.
+		workers := n * 7 / 8
+		firms := n - workers
+		if firms < 1 {
+			firms, workers = 1, n-1
+		}
+		degree := 2 * (m / workers)
+		if degree < 1 {
+			degree = 1
+		}
+		g, b = graph.AssignmentMarket(workers, firms, degree, r.Split())
+		return g, overrideBudgets(b), nil
+	case "skew":
+		g, b = graph.AdversarialSkew(n, m, r.Split())
+		return g, overrideBudgets(b), nil
 	case "clientserver":
 		cs, budgets := graph.ClientServer(n, n/20+1, 6, 3, 40, r.Split())
 		return cs, budgets, nil
@@ -192,6 +214,22 @@ func buildInstance() (*graph.Graph, graph.Budgets, error) {
 		b = graph.RandomBudgets(g.N, 1, 4, r.Split())
 	}
 	return g, b, nil
+}
+
+// overrideBudgets replaces a family's own budget vector with a uniform one
+// only when -b was passed explicitly — the flag's default must not clobber
+// the budgets the instance family derived (capacities, degree scaling).
+func overrideBudgets(b graph.Budgets) graph.Budgets {
+	bSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "b" {
+			bSet = true
+		}
+	})
+	if bSet && *bFlag > 0 {
+		return graph.UniformBudgets(len(b), *bFlag)
+	}
+	return b
 }
 
 func fail(err error) {

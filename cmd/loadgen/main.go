@@ -1,0 +1,300 @@
+// Command loadgen is the open-loop load harness for bmatchd: it generates
+// a deterministic workload (seeded arrival schedule, Zipf instance
+// popularity over a generated corpus, mixed algo/eps/seed request mixes,
+// probabilistic cancel and timeout injection), replays it against a live
+// daemon over both /v1/solve and the /v2/jobs async lifecycle, and gates
+// the observed latency percentiles, error rate, and cache hit rate against
+// declared SLOs — exiting non-zero on any violation, which is what makes
+// it a CI gate and not a demo.
+//
+// The workload is a pure function of -seed and the workload knobs: two
+// runs offer byte-identical request sequences and differ only in observed
+// latencies. The canonical way to run it is against a committed baseline
+// (corpus + workload + SLO in one JSON file):
+//
+//	bmatchd -addr 127.0.0.1:8377 &
+//	loadgen -addr 127.0.0.1:8377 -baseline BENCH_LOADGEN.json -out report.json
+//
+// or ad hoc:
+//
+//	loadgen -addr 127.0.0.1:8377 -requests 500 -rate 200 \
+//	    -corpus assignment:2:400:2400,powerlaw:2:500:4000,skew:2:512:4000 \
+//	    -mix 'greedy=0.5,approx=0.25,frac=0.1,greedy:async=0.15' \
+//	    -cancel 0.03 -timeout-prob 0.03 -slo BENCH_LOADGEN.json
+//
+// The JSON report's top-level keys are a superset of the cmd/benchjson
+// trajectory format (the latency percentiles appear as results entries),
+// so `benchjson -compare` style tooling reads loadgen reports like any
+// trajectory point. See README "Load harness" for the workflow.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/loadgen/httptarget"
+)
+
+var (
+	addrFlag     = flag.String("addr", "127.0.0.1:8377", "daemon host:port (http:// is implied)")
+	baselineFlag = flag.String("baseline", "", "committed baseline JSON (corpus + workload + SLO); workload knob flags passed explicitly override its fields")
+	sloFlag      = flag.String("slo", "", "SLO JSON file to gate on (a baseline file works; ignored when -baseline already carries SLOs)")
+	outFlag      = flag.String("out", "", "write the JSON report here (default stdout)")
+	labelFlag    = flag.String("label", "", "free-form label recorded in the report")
+
+	requestsFlag = flag.Int("requests", 400, "total requests to offer")
+	rateFlag     = flag.Float64("rate", 150, "target open-loop arrival rate, requests/second")
+	seedFlag     = flag.Int64("seed", 1, "workload seed: schedule, corpus, mix, and fault injection all derive from it")
+	zipfFlag     = flag.Float64("zipf", 1.1, "Zipf popularity skew across the corpus (0 = uniform)")
+	streamsFlag  = flag.Int("seed-streams", 4, "distinct request seeds to cycle through (with -zipf, controls the result-cache hit rate)")
+	corpusFlag   = flag.String("corpus", "assignment:2:400:2400,powerlaw:2:500:4000,skew:2:512:4000",
+		"corpus declaration: comma-separated family:count:n:m (families: assignment|powerlaw|skew|gnm|clientserver)")
+	// The default mix sticks to the fast algorithms — the (1+eps) maxw/max
+	// solvers cost seconds per uncached solve, so they join a mix only when
+	// asked for explicitly (e.g. "maxw@0.25=0.1").
+	mixFlag = flag.String("mix", "greedy=0.5,approx=0.25,frac=0.1,greedy:async=0.15",
+		"request mix: comma-separated algo[:async][@eps]=weight")
+	cancelFlag      = flag.Float64("cancel", 0, "probability a request is abandoned client-side after -cancel-after")
+	cancelAfterFlag = flag.Duration("cancel-after", 5*time.Millisecond, "when injected cancels fire")
+	timeoutProbFlag = flag.Float64("timeout-prob", 0, "probability a sync request carries -timeout-ms as its deadline (the 504 path)")
+	timeoutMsFlag   = flag.Int("timeout-ms", 1, "injected timeout_ms deadline")
+	inflightFlag    = flag.Int("max-inflight", 0, "cap on concurrently outstanding requests (0 = 4096); arrivals beyond it are shed and recorded, never delayed")
+	waitFlag        = flag.Duration("wait", 15*time.Second, "how long to wait for the daemon to report healthz status ok")
+)
+
+func main() {
+	flag.Parse()
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	spec, corpus, slo, err := configure(explicit)
+	if err != nil {
+		fatal(err)
+	}
+	items, err := loadgen.BuildCorpus(spec.Seed, corpus)
+	if err != nil {
+		fatal(err)
+	}
+	spec.CorpusSize = len(items)
+	shots, err := loadgen.BuildSchedule(*spec)
+	if err != nil {
+		fatal(err)
+	}
+
+	base := *addrFlag
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	target := httptarget.New(httptarget.Config{BaseURL: base, Corpus: items})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	readyCtx, cancelReady := context.WithTimeout(ctx, *waitFlag)
+	err = target.WaitReady(readyCtx)
+	cancelReady()
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "loadgen: corpus %d instances, %d requests at %.0f/s (seed %d), %d mix cells\n",
+		len(items), spec.Requests, spec.Rate, spec.Seed, len(spec.Mix))
+	rep := loadgen.Run(ctx, target, shots, loadgen.RunConfig{MaxInFlight: *inflightFlag})
+
+	var violations []loadgen.Violation
+	if slo != nil {
+		violations = slo.Evaluate(rep)
+	}
+	file := loadgen.NewReportFile(*labelFlag, *spec, rep, slo, violations)
+	if err := file.Write(*outFlag); err != nil {
+		fatal(err)
+	}
+	summarize(rep, target)
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "SLO VIOLATION:", v)
+		}
+		os.Exit(1)
+	}
+	if slo != nil {
+		fmt.Fprintln(os.Stderr, "all SLOs met")
+	}
+}
+
+// configure resolves the workload spec, corpus declaration, and SLO from
+// the baseline file and/or flags. Explicitly passed workload flags
+// override baseline fields, so `loadgen -baseline X -requests 50` replays
+// the committed mix at a shorter length.
+func configure(explicit map[string]bool) (*loadgen.Spec, []loadgen.FamilySpec, *loadgen.SLO, error) {
+	var spec loadgen.Spec
+	var corpus []loadgen.FamilySpec
+	var slo *loadgen.SLO
+
+	if *baselineFlag != "" {
+		b, err := loadgen.LoadBaseline(*baselineFlag)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		spec, corpus, slo = b.Workload, b.Corpus, &b.SLO
+	} else {
+		spec = loadgen.Spec{
+			Requests:    *requestsFlag,
+			Rate:        *rateFlag,
+			Seed:        *seedFlag,
+			ZipfS:       *zipfFlag,
+			SeedStreams: *streamsFlag,
+			CancelProb:  *cancelFlag,
+			CancelAfter: *cancelAfterFlag,
+			TimeoutProb: *timeoutProbFlag,
+			Timeout:     time.Duration(*timeoutMsFlag) * time.Millisecond,
+		}
+		mix, err := parseMix(*mixFlag)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		spec.Mix = mix
+		corpus, err = parseCorpus(*corpusFlag)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	// Flag overrides on top of a baseline.
+	if explicit["requests"] {
+		spec.Requests = *requestsFlag
+	}
+	if explicit["rate"] {
+		spec.Rate = *rateFlag
+	}
+	if explicit["seed"] {
+		spec.Seed = *seedFlag
+	}
+	if explicit["zipf"] {
+		spec.ZipfS = *zipfFlag
+	}
+	if explicit["seed-streams"] {
+		spec.SeedStreams = *streamsFlag
+	}
+	if explicit["cancel"] {
+		spec.CancelProb = *cancelFlag
+	}
+	if explicit["timeout-prob"] {
+		spec.TimeoutProb = *timeoutProbFlag
+	}
+	if *baselineFlag != "" && explicit["mix"] {
+		mix, err := parseMix(*mixFlag)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		spec.Mix = mix
+	}
+	if *baselineFlag != "" && explicit["corpus"] {
+		c, err := parseCorpus(*corpusFlag)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		corpus = c
+	}
+	if slo == nil && *sloFlag != "" {
+		s, err := loadgen.LoadSLO(*sloFlag)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		slo = s
+	}
+	return &spec, corpus, slo, nil
+}
+
+// parseMix parses "algo[:async][@eps]=weight" cells.
+func parseMix(s string) ([]loadgen.MixEntry, error) {
+	var mix []loadgen.MixEntry
+	for _, cell := range strings.Split(s, ",") {
+		cell = strings.TrimSpace(cell)
+		if cell == "" {
+			continue
+		}
+		lhs, w, ok := strings.Cut(cell, "=")
+		if !ok {
+			return nil, fmt.Errorf("loadgen: mix cell %q: want algo[:async][@eps]=weight", cell)
+		}
+		weight, err := strconv.ParseFloat(w, 64)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: mix cell %q: bad weight: %v", cell, err)
+		}
+		var e loadgen.MixEntry
+		e.Weight = weight
+		name, eps, hasEps := strings.Cut(lhs, "@")
+		if hasEps {
+			v, err := strconv.ParseFloat(eps, 64)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: mix cell %q: bad eps: %v", cell, err)
+			}
+			e.Eps = v
+		}
+		if base, ok := strings.CutSuffix(name, ":async"); ok {
+			e.Algo, e.Async = base, true
+		} else {
+			e.Algo = name
+		}
+		mix = append(mix, e)
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("loadgen: empty mix %q", s)
+	}
+	return mix, nil
+}
+
+// parseCorpus parses "family:count:n:m" declarations.
+func parseCorpus(s string) ([]loadgen.FamilySpec, error) {
+	var fams []loadgen.FamilySpec
+	for _, cell := range strings.Split(s, ",") {
+		cell = strings.TrimSpace(cell)
+		if cell == "" {
+			continue
+		}
+		parts := strings.Split(cell, ":")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("loadgen: corpus cell %q: want family:count:n:m", cell)
+		}
+		count, err1 := strconv.Atoi(parts[1])
+		n, err2 := strconv.Atoi(parts[2])
+		m, err3 := strconv.Atoi(parts[3])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("loadgen: corpus cell %q: count/n/m must be integers", cell)
+		}
+		fams = append(fams, loadgen.FamilySpec{Family: parts[0], Count: count, N: n, M: m})
+	}
+	if len(fams) == 0 {
+		return nil, fmt.Errorf("loadgen: empty corpus %q", s)
+	}
+	return fams, nil
+}
+
+// summarize prints the human-readable run summary to stderr (the JSON
+// report owns stdout when -out is unset).
+func summarize(rep *loadgen.Report, target *httptarget.Target) {
+	fmt.Fprintf(os.Stderr,
+		"loadgen: %d requests in %.1fs (offered %.1fs): %d ok, %d injected faults, %d unexpected\n",
+		rep.Requests, rep.ElapsedSec, rep.OfferedSec, rep.OK, rep.InjectedFaults, rep.Unexpected)
+	fmt.Fprintf(os.Stderr,
+		"loadgen: latency p50 %.1fms p95 %.1fms p99 %.1fms max %.1fms; error rate %.4f; cache hit rate %.2f\n",
+		rep.LatencyMs.P50, rep.LatencyMs.P95, rep.LatencyMs.P99, rep.LatencyMs.Max,
+		rep.ErrorRate, rep.CacheHitRate)
+	// A drained daemon mid-run explains unavailability bursts; surface it.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if st, err := target.Healthz(ctx); err == nil && st != "ok" {
+		fmt.Fprintf(os.Stderr, "loadgen: daemon health after run: %s\n", st)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(2)
+}

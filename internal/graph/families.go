@@ -1,0 +1,197 @@
+// The ROADMAP's realistic instance families for the load harness. Unlike
+// the generic generators in gen.go, each family returns a full instance —
+// graph *and* budgets — shaped to stress a specific part of the serving
+// stack: assignment markets exercise the bipartite/weighted path with
+// capacity asymmetry, power-law social graphs the skewed-degree regime the
+// compression rounds exist for, and adversarial skew the worst case where a
+// handful of hubs hold a constant fraction of all incidences.
+//
+// Every family is deterministic given its *rng.RNG: all draws happen in a
+// fixed order, and the dedup maps are only membership-tested, never
+// iterated, so the emitted edge order is the insertion order. The golden
+// content-hash tests in families_test.go pin this per seed.
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// AssignmentMarket returns a bipartite assignment-market instance: workers
+// (ids 0..workers-1) apply to firms (ids workers..workers+firms-1). Firm
+// popularity is heavy-tailed — each application targets a firm drawn
+// proportionally to its pay level, so a few well-paying firms amass most of
+// the applications — and the edge weight models the match surplus
+// (worker skill × firm pay, with idiosyncratic noise). Workers can accept
+// 1–2 offers; firm capacities are drawn so total capacity ≈ 1.2× total
+// worker demand, which keeps the market tight but feasible.
+//
+// degree bounds the applications per worker (each worker files
+// 1+Intn(degree) of them, deduplicated).
+func AssignmentMarket(workers, firms, degree int, r *rng.RNG) (*Graph, Budgets) {
+	if workers < 1 || firms < 1 || degree < 1 {
+		panic(fmt.Sprintf("graph: AssignmentMarket(%d, %d, %d): all arguments must be positive",
+			workers, firms, degree))
+	}
+	// Firm pay levels: Pareto-ish tail via inverse-uniform, capped at 50×
+	// the base so one firm cannot absorb the whole market.
+	pay := make([]float64, firms)
+	var paySum float64
+	for f := range pay {
+		p := 1 / (0.02 + 0.98*r.Float64()) // in (1, 50]
+		pay[f] = p
+		paySum += p
+	}
+	payCum := make([]float64, firms)
+	acc := 0.0
+	for f, p := range pay {
+		acc += p
+		payCum[f] = acc
+	}
+	pickFirm := func() int {
+		x := r.Uniform(0, acc)
+		lo, hi := 0, firms-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if payCum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	skill := make([]float64, workers)
+	for w := range skill {
+		skill[w] = r.Uniform(0.5, 1.5)
+	}
+	seen := make(map[uint64]struct{})
+	var edges []Edge
+	demand := 0
+	b := make(Budgets, workers+firms)
+	for wk := 0; wk < workers; wk++ {
+		b[wk] = 1 + r.Intn(2)
+		demand += b[wk]
+		d := 1 + r.Intn(degree)
+		for t := 0; t < d; t++ {
+			f := pickFirm()
+			key := uint64(wk)<<32 | uint64(workers+f)
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			w := skill[wk] * pay[f] * r.Uniform(0.9, 1.1)
+			edges = append(edges, Edge{U: int32(wk), V: int32(workers + f), W: w})
+		}
+	}
+	// Firm capacities: expected total ≈ 1.2× worker demand, each firm's
+	// share proportional to its pay level (popular firms hire more), with
+	// at least one slot everywhere.
+	for f := 0; f < firms; f++ {
+		mean := 1.2 * float64(demand) * pay[f] / paySum
+		slots := int(mean)
+		if frac := mean - float64(slots); r.Bernoulli(frac) {
+			slots++
+		}
+		if slots < 1 {
+			slots = 1
+		}
+		b[workers+f] = slots
+	}
+	return MustNew(workers+firms, edges), b
+}
+
+// PowerLawSocial returns a power-law (Chung-Lu style) social-graph
+// instance: the degree sequence follows ChungLu's weight model with
+// exponent beta, tie strengths are heavy-tailed (most ties weak, a few
+// strong — w = 1 + 9u³ for uniform u), and budgets grow with connectivity
+// (b_v = 1 + ⌊√deg(v)⌋, capped at 32), modelling actors who can sustain
+// more relationships the better connected they are. This is the regime
+// where initial values q_v = Θ(b_v/d̄) start far from tight for the tail
+// vertices, so the compression rounds do real work.
+func PowerLawSocial(n, m int, beta float64, r *rng.RNG) (*Graph, Budgets) {
+	g := ChungLu(n, m, beta, r)
+	for i := range g.Edges {
+		u := r.Float64()
+		g.Edges[i].W = 1 + 9*u*u*u
+	}
+	b := make(Budgets, g.N)
+	for v := range b {
+		bv := 1 + int(math.Sqrt(float64(g.Deg(int32(v)))))
+		if bv > 32 {
+			bv = 32
+		}
+		b[v] = bv
+	}
+	return g, b
+}
+
+// AdversarialSkew returns the worst-case degree-skew instance: a handful
+// of hub vertices (max(2, n/256) of them) absorb half of all edges, the
+// other half is a sparse random graph over the leaves. Max degree is
+// Θ(m/hubs) ≫ d̄, so any per-machine edge partition sees a few giant
+// vertices next to a long uniform tail — the adversarial regime for
+// degree-balanced partitioning and for the sharded caches. Hubs get
+// capacity ≈ their expected degree / 4 (they can serve many leaves but not
+// all); leaves get 1–2.
+func AdversarialSkew(n, m int, r *rng.RNG) (*Graph, Budgets) {
+	hubs := n / 256
+	if hubs < 2 {
+		hubs = 2
+	}
+	if n < hubs+2 {
+		panic(fmt.Sprintf("graph: AdversarialSkew(%d, %d): need n > %d", n, m, hubs+1))
+	}
+	leaves := n - hubs
+	mHub := m / 2
+	mTail := m - mHub
+	if lim := hubs * leaves; mHub > lim {
+		mHub = lim
+		mTail = m - mHub
+	}
+	if lim := leaves * (leaves - 1) / 2; mTail > lim {
+		panic(fmt.Sprintf("graph: AdversarialSkew(%d, %d): too many edges for the leaf set", n, m))
+	}
+	seen := make(map[uint64]struct{}, m)
+	edges := make([]Edge, 0, m)
+	for len(edges) < mHub {
+		h := int32(r.Intn(hubs))
+		l := int32(hubs + r.Intn(leaves))
+		key := uint64(h)<<32 | uint64(l)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		edges = append(edges, Edge{U: h, V: l, W: r.Uniform(1, 10)})
+	}
+	for len(edges) < mHub+mTail {
+		u := int32(hubs + r.Intn(leaves))
+		v := int32(hubs + r.Intn(leaves))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := uint64(u)<<32 | uint64(v)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		edges = append(edges, Edge{U: u, V: v, W: r.Uniform(1, 10)})
+	}
+	b := make(Budgets, n)
+	hubCap := mHub / (4 * hubs)
+	if hubCap < 2 {
+		hubCap = 2
+	}
+	for v := 0; v < hubs; v++ {
+		b[v] = hubCap
+	}
+	for v := hubs; v < n; v++ {
+		b[v] = 1 + r.Intn(2)
+	}
+	return MustNew(n, edges), b
+}

@@ -392,9 +392,22 @@ func appendJSONString(buf []byte, s string) []byte {
 	return append(buf, '"')
 }
 
+// handleHealthz reports liveness plus the lifecycle phase: "ok" while
+// serving, "draining" (with a 503 and Retry-After) once shutdown began.
+// The distinction lets load generators and orchestrators stop offering
+// load to a terminating replica instead of booking its connection
+// refusals and 5xxs as SLO violations — cmd/loadgen's readiness wait and
+// drain detection key on the status field.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, "{\"ok\":true,\"uptimeSec\":%.0f}\n", time.Since(s.started).Seconds())
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"status\":%q,\"ok\":%t,\"uptimeSec\":%.0f}\n",
+		status, code == http.StatusOK, time.Since(s.started).Seconds())
 }
 
 // statsBody is the /v1/stats response.

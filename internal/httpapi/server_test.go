@@ -257,6 +257,47 @@ func TestTimeoutMs(t *testing.T) {
 	}
 }
 
+// TestHealthzDraining pins the lifecycle contract: healthz reports
+// status "ok" with a 200 while serving, and flips to "draining" with a
+// 503 + Retry-After once SetDraining is called — the signal load
+// generators use to stop offering load to a terminating replica.
+func TestHealthzDraining(t *testing.T) {
+	srv, ts := newTestServer(t, engine.PoolConfig{}, Config{})
+
+	getHealth := func() (int, map[string]any) {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + "/v1/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	code, body := getHealth()
+	if code != http.StatusOK || body["status"] != "ok" || body["ok"] != true {
+		t.Fatalf("pre-drain healthz: %d %v", code, body)
+	}
+
+	srv.SetDraining()
+	code, body = getHealth()
+	if code != http.StatusServiceUnavailable || body["status"] != "draining" || body["ok"] != false {
+		t.Fatalf("post-drain healthz: %d %v", code, body)
+	}
+	resp, err := ts.Client().Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("draining healthz missing Retry-After")
+	}
+}
+
 func TestHealthzAndStats(t *testing.T) {
 	_, _, payload := testInstancePayload(t)
 	_, ts := newTestServer(t, engine.PoolConfig{}, Config{})

@@ -1,0 +1,285 @@
+package loadgen
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Class partitions request outcomes. Injected faults (cancel/timeout
+// shots) are *expected* to land in ClassCanceled/ClassDeadline; the SLO
+// error rate counts only outcomes the schedule did not ask for.
+type Class string
+
+const (
+	// ClassOK is a successful solve reply.
+	ClassOK Class = "ok"
+	// ClassCanceled is a request abandoned client-side (the injected
+	// cancel path; the server sees the context cancel — its own view of
+	// this outcome is the 408 it writes to the departed client).
+	ClassCanceled Class = "canceled"
+	// ClassDeadline is a server-enforced deadline trip: the 504 reply from
+	// an injected (or genuine) timeout_ms.
+	ClassDeadline Class = "deadline"
+	// ClassRejected is admission pushback: 429 from the queue, decode
+	// slots, or the job registry.
+	ClassRejected Class = "rejected"
+	// ClassUnavailable is a 503 (draining daemon) or a refused/dropped
+	// connection.
+	ClassUnavailable Class = "unavailable"
+	// ClassError is everything else: 4xx/5xx the schedule did not provoke,
+	// malformed replies, infeasible results.
+	ClassError Class = "error"
+)
+
+// Outcome is a Target's view of one completed shot.
+type Outcome struct {
+	Class Class
+	// Status is the HTTP status when one was received (0 otherwise).
+	Status int
+	// CacheHit reports the server's cached=true marker on an OK reply.
+	CacheHit bool
+	// Err carries detail for non-OK classes.
+	Err string
+}
+
+// Target performs one shot against the system under test. Implementations
+// must honor ctx (the driver injects cancels through it) and must be safe
+// for concurrent use — the open-loop driver fires overlapping shots.
+type Target interface {
+	Do(ctx context.Context, s Shot) Outcome
+}
+
+// RunConfig tunes the driver.
+type RunConfig struct {
+	// MaxInFlight caps concurrently outstanding shots. When an arrival
+	// finds the cap exhausted the shot is not delayed (that would close
+	// the loop) — it is recorded as ClassUnavailable overload. 0 defaults
+	// to 4096.
+	MaxInFlight int
+}
+
+// Run replays shots against t, open-loop: each shot fires at its scheduled
+// arrival offset whether or not earlier shots completed. ctx aborts the
+// run (remaining shots are recorded as unavailable). Latencies of OK
+// replies land in the report's histogram; every outcome lands in the
+// class/mix tallies.
+func Run(ctx context.Context, t Target, shots []Shot, cfg RunConfig) *Report {
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = 4096
+	}
+	rec := newRecorder()
+	sem := make(chan struct{}, maxInFlight)
+	var wg sync.WaitGroup
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	for i := range shots {
+		s := shots[i]
+		if wait := s.At - time.Since(start); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+			}
+		}
+		if ctx.Err() != nil {
+			rec.record(s, Outcome{Class: ClassUnavailable, Err: "run aborted: " + ctx.Err().Error()}, 0)
+			continue
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			// Open-loop overload: the system under test is holding more
+			// than MaxInFlight requests; shedding (and recording) the
+			// arrival keeps the generator honest instead of silently
+			// slowing the offered rate.
+			rec.record(s, Outcome{Class: ClassUnavailable, Err: "loadgen: in-flight cap reached"}, 0)
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fire(ctx, t, s, rec)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return rec.report(shots, elapsed)
+}
+
+// fire runs one shot with its injected faults armed and records the
+// outcome with the driver-observed latency.
+func fire(ctx context.Context, t Target, s Shot, rec *recorder) {
+	sctx := ctx
+	if s.Cancel {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithCancel(ctx)
+		timer := time.AfterFunc(s.CancelAfter, cancel)
+		defer timer.Stop()
+		defer cancel()
+	}
+	begin := time.Now()
+	out := t.Do(sctx, s)
+	rec.record(s, out, time.Since(begin))
+}
+
+// recorder accumulates outcomes; one per run, mutex-serialized (recording
+// is nanoseconds against solves that are milliseconds).
+type recorder struct {
+	mu      sync.Mutex
+	lat     Histogram // OK latencies
+	classes map[Class]int64
+	byMix   map[string]int64 // "algo" or "algo:async" → OK count
+	hits    int64
+	misses  int64
+	// expected vs unexpected split for the error-rate SLO
+	expectedFaults int64
+	unexpected     int64
+}
+
+func newRecorder() *recorder {
+	return &recorder{
+		classes: make(map[Class]int64),
+		byMix:   make(map[string]int64),
+	}
+}
+
+// expectedOutcome reports whether out is what the schedule asked s to do:
+// OK for a plain shot, canceled for an injected cancel, a deadline trip
+// for an injected timeout. (An injected cancel may still complete OK when
+// the solve wins the race — also expected.)
+func expectedOutcome(s Shot, out Outcome) bool {
+	switch out.Class {
+	case ClassOK:
+		return true
+	case ClassCanceled:
+		return s.Cancel
+	case ClassDeadline:
+		return s.Timeout > 0
+	default:
+		return false
+	}
+}
+
+func (r *recorder) record(s Shot, out Outcome, lat time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.classes[out.Class]++
+	switch {
+	case out.Class == ClassOK:
+		r.lat.Record(lat)
+		key := s.Algo
+		if s.Async {
+			key += ":async"
+		}
+		r.byMix[key]++
+		if out.CacheHit {
+			r.hits++
+		} else {
+			r.misses++
+		}
+	case expectedOutcome(s, out):
+		r.expectedFaults++
+	default:
+		r.unexpected++
+	}
+}
+
+func (r *recorder) report(shots []Shot, elapsed time.Duration) *Report {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep := &Report{
+		Requests:   len(shots),
+		ElapsedSec: elapsed.Seconds(),
+		Classes:    make(map[Class]int64, len(r.classes)),
+		MixOK:      make(map[string]int64, len(r.byMix)),
+	}
+	for c, n := range r.classes {
+		rep.Classes[c] = n
+	}
+	for k, n := range r.byMix {
+		rep.MixOK[k] = n
+	}
+	rep.OK = r.classes[ClassOK]
+	rep.InjectedFaults = r.expectedFaults
+	rep.Unexpected = r.unexpected
+	if total := int64(len(shots)); total > 0 {
+		rep.ErrorRate = float64(r.unexpected) / float64(total)
+	}
+	if r.hits+r.misses > 0 {
+		rep.CacheHitRate = float64(r.hits) / float64(r.hits+r.misses)
+	}
+	if elapsed > 0 {
+		rep.AchievedRate = float64(len(shots)) / elapsed.Seconds()
+		rep.GoodputRate = float64(rep.OK) / elapsed.Seconds()
+	}
+	rep.LatencyMs = LatencySummary{
+		P50: msOf(r.lat.Quantile(0.50)),
+		P95: msOf(r.lat.Quantile(0.95)),
+		P99: msOf(r.lat.Quantile(0.99)),
+		Max: msOf(r.lat.Max()),
+	}
+	if len(shots) > 0 {
+		rep.OfferedSec = shots[len(shots)-1].At.Seconds()
+	}
+	return rep
+}
+
+func msOf(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// LatencySummary is the OK-latency percentile block, in milliseconds.
+type LatencySummary struct {
+	P50 float64 `json:"p50Ms"`
+	P95 float64 `json:"p95Ms"`
+	P99 float64 `json:"p99Ms"`
+	Max float64 `json:"maxMs"`
+}
+
+// Report is the outcome of one run. Its JSON form is a superset of the
+// cmd/benchjson trajectory file (the Results field mirrors benchjson's
+// results array with the latency percentiles as ns/op entries), so
+// trajectory tooling can diff loadgen reports exactly like benchmark
+// points.
+type Report struct {
+	Requests   int     `json:"requests"`
+	OK         int64   `json:"ok"`
+	ElapsedSec float64 `json:"elapsedSec"`
+	// OfferedSec is the scheduled duration of the workload (last arrival
+	// offset); ElapsedSec beyond it is drain time.
+	OfferedSec float64 `json:"offeredSec"`
+	// AchievedRate is arrivals/elapsed; GoodputRate counts OK replies only.
+	AchievedRate float64 `json:"achievedRate"`
+	GoodputRate  float64 `json:"goodputRate"`
+	// ErrorRate is unexpected outcomes / total requests. Injected faults
+	// that landed as asked (cancels, deadline trips) are not errors.
+	ErrorRate      float64 `json:"errorRate"`
+	InjectedFaults int64   `json:"injectedFaults"`
+	Unexpected     int64   `json:"unexpected"`
+	// CacheHitRate is the cached=true fraction of OK replies.
+	CacheHitRate float64          `json:"cacheHitRate"`
+	LatencyMs    LatencySummary   `json:"latencyMs"`
+	Classes      map[Class]int64  `json:"classes"`
+	MixOK        map[string]int64 `json:"mixOK"`
+}
+
+// TrajectoryResults renders the report's headline metrics in benchjson's
+// per-benchmark result shape ({name, nsPerOp, iterations}), so a loadgen
+// report can be embedded next to benchmark trajectory points.
+func (r *Report) TrajectoryResults() []TrajectoryResult {
+	return []TrajectoryResult{
+		{Name: "Loadgen/latency/p50", Iterations: r.OK, NsPerOp: r.LatencyMs.P50 * 1e6},
+		{Name: "Loadgen/latency/p95", Iterations: r.OK, NsPerOp: r.LatencyMs.P95 * 1e6},
+		{Name: "Loadgen/latency/p99", Iterations: r.OK, NsPerOp: r.LatencyMs.P99 * 1e6},
+	}
+}
+
+// TrajectoryResult mirrors cmd/benchjson's Result JSON shape.
+type TrajectoryResult struct {
+	Pkg        string  `json:"pkg,omitempty"`
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"nsPerOp"`
+}

@@ -1,0 +1,340 @@
+// Package httptarget is the HTTP client side of the load harness: it
+// replays loadgen shots against a live bmatchd over both serving paths —
+// synchronous POST /v1/solve and the full /v2/jobs async lifecycle
+// (submit → poll → fetch result, DELETE on injected cancel) — and maps
+// transport/status outcomes onto loadgen's outcome classes. It lives
+// outside the transport-free loadgen core on purpose: loadgen never links
+// net/http, mirroring the engine/httpapi split.
+package httptarget
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+// Config wires a Target to a daemon.
+type Config struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8377".
+	BaseURL string
+	// Corpus holds the encoded instances Shot.Corpus indexes into.
+	Corpus []loadgen.CorpusItem
+	// Client is the HTTP client (nil builds one sized for open-loop
+	// concurrency: idle connections are the lifeline of a generator that
+	// may hold hundreds of requests in flight).
+	Client *http.Client
+	// PollInterval paces /v2/jobs status polls (default 5ms).
+	PollInterval time.Duration
+}
+
+// Target implements loadgen.Target over HTTP.
+type Target struct {
+	cfg Config
+}
+
+// New returns a Target for cfg.
+func New(cfg Config) *Target {
+	if cfg.Client == nil {
+		tr := &http.Transport{
+			MaxIdleConns:        1024,
+			MaxIdleConnsPerHost: 1024,
+			IdleConnTimeout:     time.Minute,
+		}
+		cfg.Client = &http.Client{Transport: tr}
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 5 * time.Millisecond
+	}
+	return &Target{cfg: cfg}
+}
+
+// healthBody mirrors httpapi's /v1/healthz reply.
+type healthBody struct {
+	Status string `json:"status"`
+	OK     bool   `json:"ok"`
+}
+
+// WaitReady polls /v1/healthz until the daemon reports status "ok" (a
+// draining daemon is not ready — see the healthz contract) or ctx expires.
+func (t *Target) WaitReady(ctx context.Context) error {
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.cfg.BaseURL+"/v1/healthz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := t.cfg.Client.Do(req)
+		if err == nil {
+			var h healthBody
+			dec := json.NewDecoder(resp.Body)
+			decodeErr := dec.Decode(&h)
+			resp.Body.Close()
+			if decodeErr == nil && resp.StatusCode == http.StatusOK && h.Status == "ok" {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("httptarget: daemon at %s not ready: %w", t.cfg.BaseURL, ctx.Err())
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// Healthz returns the daemon's current health status string ("ok",
+// "draining") or an error.
+func (t *Target) Healthz(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.cfg.BaseURL+"/v1/healthz", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := t.cfg.Client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var h healthBody
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return "", err
+	}
+	return h.Status, nil
+}
+
+// Do fires one shot. The returned outcome classifies transport errors,
+// status codes, and reply contents; latency is measured by the driver.
+func (t *Target) Do(ctx context.Context, s loadgen.Shot) loadgen.Outcome {
+	if s.Corpus < 0 || s.Corpus >= len(t.cfg.Corpus) {
+		return loadgen.Outcome{Class: loadgen.ClassError,
+			Err: fmt.Sprintf("httptarget: corpus index %d out of range", s.Corpus)}
+	}
+	if s.Async {
+		return t.doAsync(ctx, s)
+	}
+	return t.doSync(ctx, s)
+}
+
+// query renders the shot's solve parameters.
+func query(s loadgen.Shot, withTimeout bool) string {
+	q := "algo=" + s.Algo + "&seed=" + strconv.FormatInt(s.Seed, 10)
+	if s.Eps > 0 {
+		q += "&eps=" + strconv.FormatFloat(s.Eps, 'g', -1, 64)
+	}
+	if s.Workers > 0 {
+		q += "&workers=" + strconv.Itoa(s.Workers)
+	}
+	if withTimeout && s.Timeout > 0 {
+		ms := int64(s.Timeout / time.Millisecond)
+		if ms < 1 {
+			ms = 1
+		}
+		q += "&timeout_ms=" + strconv.FormatInt(ms, 10)
+	}
+	return q
+}
+
+// resultBody is the slice of the solve reply the harness inspects; the
+// big arrays are parsed past and dropped.
+type resultBody struct {
+	Feasible bool `json:"feasible"`
+	Cached   bool `json:"cached"`
+}
+
+func (t *Target) doSync(ctx context.Context, s loadgen.Shot) loadgen.Outcome {
+	payload := t.cfg.Corpus[s.Corpus].Payload
+	url := t.cfg.BaseURL + "/v1/solve?" + query(s, true)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		return loadgen.Outcome{Class: loadgen.ClassError, Err: err.Error()}
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := t.cfg.Client.Do(req)
+	if err != nil {
+		return classifyTransportErr(ctx, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return classifyStatus(resp)
+	}
+	var rb resultBody
+	if err := json.NewDecoder(resp.Body).Decode(&rb); err != nil {
+		return classifyBodyErr(ctx, err)
+	}
+	if !rb.Feasible {
+		return loadgen.Outcome{Class: loadgen.ClassError, Status: resp.StatusCode,
+			Err: "httptarget: reply marked infeasible"}
+	}
+	return loadgen.Outcome{Class: loadgen.ClassOK, Status: resp.StatusCode, CacheHit: rb.Cached}
+}
+
+// jobBody is the slice of a /v2/jobs status reply the harness uses.
+type jobBody struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	ResultURL string `json:"resultUrl"`
+	Error     string `json:"error"`
+}
+
+// doAsync drives the full /v2/jobs lifecycle for one shot: submit, poll
+// until terminal, fetch the result. When the shot's injected cancel fires
+// (ctx dies mid-poll), the job is DELETEd on a detached context so the
+// server-side solve actually stops — exactly what a well-behaved client
+// does — and the outcome is the cancel the schedule asked for.
+func (t *Target) doAsync(ctx context.Context, s loadgen.Shot) loadgen.Outcome {
+	payload := t.cfg.Corpus[s.Corpus].Payload
+	url := t.cfg.BaseURL + "/v2/jobs?" + query(s, false)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		return loadgen.Outcome{Class: loadgen.ClassError, Err: err.Error()}
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := t.cfg.Client.Do(req)
+	if err != nil {
+		return classifyTransportErr(ctx, err)
+	}
+	var jb jobBody
+	decErr := json.NewDecoder(resp.Body).Decode(&jb)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return classifyStatus(resp)
+	}
+	if decErr != nil || jb.ID == "" {
+		return loadgen.Outcome{Class: loadgen.ClassError, Status: resp.StatusCode,
+			Err: "httptarget: bad job submit reply"}
+	}
+	statusURL := t.cfg.BaseURL + "/v2/jobs/" + jb.ID
+	ticker := time.NewTicker(t.cfg.PollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			t.cancelJob(jb.ID)
+			return loadgen.Outcome{Class: loadgen.ClassCanceled, Err: ctx.Err().Error()}
+		case <-ticker.C:
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, statusURL, nil)
+		if err != nil {
+			return loadgen.Outcome{Class: loadgen.ClassError, Err: err.Error()}
+		}
+		resp, err := t.cfg.Client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				t.cancelJob(jb.ID)
+				return loadgen.Outcome{Class: loadgen.ClassCanceled, Err: ctx.Err().Error()}
+			}
+			return classifyTransportErr(ctx, err)
+		}
+		var st jobBody
+		decErr := json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || decErr != nil {
+			return loadgen.Outcome{Class: loadgen.ClassError, Status: resp.StatusCode,
+				Err: "httptarget: bad job status reply"}
+		}
+		switch st.State {
+		case "queued", "running":
+			continue
+		case "done":
+			return t.fetchResult(ctx, jb.ID)
+		case "canceled":
+			return loadgen.Outcome{Class: loadgen.ClassCanceled, Status: resp.StatusCode, Err: st.Error}
+		default: // "failed"
+			return loadgen.Outcome{Class: loadgen.ClassError, Status: resp.StatusCode,
+				Err: "httptarget: job failed: " + st.Error}
+		}
+	}
+}
+
+func (t *Target) fetchResult(ctx context.Context, id string) loadgen.Outcome {
+	url := t.cfg.BaseURL + "/v2/jobs/" + id + "/result"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return loadgen.Outcome{Class: loadgen.ClassError, Err: err.Error()}
+	}
+	resp, err := t.cfg.Client.Do(req)
+	if err != nil {
+		return classifyTransportErr(ctx, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		return loadgen.Outcome{Class: loadgen.ClassCanceled, Status: resp.StatusCode}
+	default:
+		return classifyStatus(resp)
+	}
+	var rb resultBody
+	if err := json.NewDecoder(resp.Body).Decode(&rb); err != nil {
+		return classifyBodyErr(ctx, err)
+	}
+	if !rb.Feasible {
+		return loadgen.Outcome{Class: loadgen.ClassError, Status: resp.StatusCode,
+			Err: "httptarget: reply marked infeasible"}
+	}
+	return loadgen.Outcome{Class: loadgen.ClassOK, Status: resp.StatusCode, CacheHit: rb.Cached}
+}
+
+// cancelJob DELETEs a job on a detached context: the shot's own context is
+// already dead when this runs, but the server-side solve should stop now,
+// not at its TTL.
+func (t *Target) cancelJob(id string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, t.cfg.BaseURL+"/v2/jobs/"+id, nil)
+	if err != nil {
+		return
+	}
+	if resp, err := t.cfg.Client.Do(req); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// classifyTransportErr maps request errors: the shot's own cancel reads as
+// the injected-cancel class, everything else as unavailability (connection
+// refused/reset — the daemon is down or overwhelmed).
+func classifyTransportErr(ctx context.Context, err error) loadgen.Outcome {
+	if ctx.Err() != nil || errors.Is(err, context.Canceled) {
+		return loadgen.Outcome{Class: loadgen.ClassCanceled, Err: err.Error()}
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return loadgen.Outcome{Class: loadgen.ClassDeadline, Err: err.Error()}
+	}
+	return loadgen.Outcome{Class: loadgen.ClassUnavailable, Err: err.Error()}
+}
+
+// classifyBodyErr handles errors while reading a streamed 200 body — a
+// cancel can land mid-stream, after the status line.
+func classifyBodyErr(ctx context.Context, err error) loadgen.Outcome {
+	if ctx.Err() != nil {
+		return loadgen.Outcome{Class: loadgen.ClassCanceled, Err: ctx.Err().Error()}
+	}
+	return loadgen.Outcome{Class: loadgen.ClassError, Err: "httptarget: bad reply body: " + err.Error()}
+}
+
+// classifyStatus maps non-200 statuses onto outcome classes, mirroring
+// httpapi's error policy: 408 client-gone, 504 deadline, 429 admission,
+// 503 draining/unavailable.
+func classifyStatus(resp *http.Response) loadgen.Outcome {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	out := loadgen.Outcome{Status: resp.StatusCode, Err: string(bytes.TrimSpace(body))}
+	switch resp.StatusCode {
+	case http.StatusRequestTimeout:
+		out.Class = loadgen.ClassCanceled
+	case http.StatusGatewayTimeout:
+		out.Class = loadgen.ClassDeadline
+	case http.StatusTooManyRequests:
+		out.Class = loadgen.ClassRejected
+	case http.StatusServiceUnavailable:
+		out.Class = loadgen.ClassUnavailable
+	default:
+		out.Class = loadgen.ClassError
+	}
+	return out
+}

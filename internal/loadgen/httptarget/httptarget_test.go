@@ -1,0 +1,203 @@
+package httptarget_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/httpapi"
+	"repro/internal/loadgen"
+	"repro/internal/loadgen/httptarget"
+)
+
+// newDaemon stands up a real engine.Pool behind the real httpapi surface —
+// the same stack bmatchd serves — on an httptest listener.
+func newDaemon(tb testing.TB) (*httpapi.Server, *httptarget.Target, []loadgen.CorpusItem) {
+	tb.Helper()
+	// Sized so an 80-request open-loop burst is admitted rather than
+	// 429-shed: the harness tests outcome accounting here, not admission.
+	srv := httpapi.NewServer(engine.NewPool(engine.PoolConfig{
+		Workers: 8, QueueDepth: 256, DecodeSlots: 256,
+	}), httpapi.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	tb.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	corpus, err := loadgen.BuildCorpus(5, []loadgen.FamilySpec{
+		{Family: "clientserver", Count: 2, N: 160},
+		{Family: "assignment", Count: 1, N: 200, M: 900},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	target := httptarget.New(httptarget.Config{BaseURL: ts.URL, Corpus: corpus, Client: ts.Client()})
+	return srv, target, corpus
+}
+
+// bigCorpus builds instances heavy enough that a maxw solve reliably
+// outlives millisecond-scale injected faults.
+func bigCorpus(tb testing.TB) []loadgen.CorpusItem {
+	tb.Helper()
+	corpus, err := loadgen.BuildCorpus(9, []loadgen.FamilySpec{
+		{Family: "powerlaw", Count: 1, N: 6000, M: 48000},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return corpus
+}
+
+// TestEndToEndMixedWorkload replays a mixed sync/async workload against
+// the real serving stack: every request must come back OK, deterministic
+// seeds plus Zipf skew must produce result-cache hits, and both transport
+// paths must appear in the mix ledger.
+func TestEndToEndMixedWorkload(t *testing.T) {
+	_, target, corpus := newDaemon(t)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := target.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// greedy on both paths: the test pins transport accounting, not solver
+	// throughput, and the expensive algorithms have their own benchmarks.
+	spec := loadgen.Spec{
+		Seed:        3,
+		Requests:    80,
+		Rate:        800,
+		CorpusSize:  len(corpus),
+		ZipfS:       1.0,
+		SeedStreams: 2,
+		Mix: []loadgen.MixEntry{
+			{Algo: "greedy", Weight: 0.7},
+			{Algo: "greedy", Async: true, Weight: 0.3},
+		},
+	}
+	shots, err := loadgen.BuildSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := loadgen.Run(ctx, target, shots, loadgen.RunConfig{})
+
+	if rep.OK != int64(spec.Requests) {
+		t.Fatalf("ok %d of %d; classes %v", rep.OK, spec.Requests, rep.Classes)
+	}
+	if rep.ErrorRate != 0 {
+		t.Fatalf("error rate %v on a fault-free workload; classes %v", rep.ErrorRate, rep.Classes)
+	}
+	if rep.CacheHitRate == 0 {
+		t.Fatal("no cache hits despite 2 seed streams over a 3-instance Zipf corpus")
+	}
+	if rep.MixOK["greedy"] == 0 || rep.MixOK["greedy:async"] == 0 {
+		t.Fatalf("mix ledger missing a path: %v", rep.MixOK)
+	}
+	if rep.LatencyMs.P50 <= 0 || rep.LatencyMs.P99 < rep.LatencyMs.P50 {
+		t.Fatalf("implausible latency summary: %+v", rep.LatencyMs)
+	}
+}
+
+// TestInjectedDeadlines checks the 504 path end to end: shots carrying a
+// 1ms timeout_ms against heavy instances must come back as deadline
+// trips, and those trips are expected outcomes, not errors.
+func TestInjectedDeadlines(t *testing.T) {
+	srv := httpapi.NewServer(engine.NewPool(engine.PoolConfig{Workers: 4, QueueDepth: 64}), httpapi.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	corpus := bigCorpus(t)
+	target := httptarget.New(httptarget.Config{BaseURL: ts.URL, Corpus: corpus, Client: ts.Client()})
+
+	spec := loadgen.Spec{
+		Seed:        4,
+		Requests:    10,
+		Rate:        100,
+		CorpusSize:  len(corpus),
+		TimeoutProb: 1,
+		Timeout:     time.Millisecond,
+		Mix:         []loadgen.MixEntry{{Algo: "maxw", Weight: 1}},
+	}
+	shots, err := loadgen.BuildSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := loadgen.Run(context.Background(), target, shots, loadgen.RunConfig{})
+
+	if rep.Classes[loadgen.ClassDeadline] == 0 {
+		t.Fatalf("no 504 deadline trips on 1ms budgets over heavy solves; classes %v", rep.Classes)
+	}
+	if rep.ErrorRate != 0 {
+		t.Fatalf("injected deadlines counted as errors: rate %v, classes %v", rep.ErrorRate, rep.Classes)
+	}
+	if rep.InjectedFaults+rep.OK != int64(spec.Requests) {
+		t.Fatalf("ledger mismatch: %d faults + %d ok != %d", rep.InjectedFaults, rep.OK, spec.Requests)
+	}
+}
+
+// TestInjectedCancels checks client-side abandonment end to end on both
+// transport paths: sync shots drop the connection mid-solve, async shots
+// DELETE their job — both land in the canceled class the schedule asked
+// for.
+func TestInjectedCancels(t *testing.T) {
+	srv := httpapi.NewServer(engine.NewPool(engine.PoolConfig{Workers: 4, QueueDepth: 64}), httpapi.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	corpus := bigCorpus(t)
+	target := httptarget.New(httptarget.Config{BaseURL: ts.URL, Corpus: corpus, Client: ts.Client()})
+
+	spec := loadgen.Spec{
+		Seed:        6,
+		Requests:    12,
+		Rate:        100,
+		CorpusSize:  len(corpus),
+		CancelProb:  1,
+		CancelAfter: 2 * time.Millisecond,
+		Mix: []loadgen.MixEntry{
+			{Algo: "maxw", Weight: 0.5},
+			{Algo: "maxw", Async: true, Weight: 0.5},
+		},
+	}
+	shots, err := loadgen.BuildSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := loadgen.Run(context.Background(), target, shots, loadgen.RunConfig{})
+
+	if rep.Classes[loadgen.ClassCanceled] == 0 {
+		t.Fatalf("no canceled outcomes with CancelProb=1 over heavy solves; classes %v", rep.Classes)
+	}
+	if rep.ErrorRate != 0 {
+		t.Fatalf("injected cancels counted as errors: rate %v, classes %v", rep.ErrorRate, rep.Classes)
+	}
+}
+
+// TestHealthzDraining checks the readiness contract the harness keys on:
+// a daemon reports "ok" until SetDraining, then "draining" with a 503 —
+// and WaitReady refuses a draining daemon.
+func TestHealthzDraining(t *testing.T) {
+	srv, target, _ := newDaemon(t)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if st, err := target.Healthz(ctx); err != nil || st != "ok" {
+		t.Fatalf("healthz before drain: %q, %v", st, err)
+	}
+
+	srv.SetDraining()
+	if st, err := target.Healthz(ctx); err != nil || st != "draining" {
+		t.Fatalf("healthz after drain: %q, %v", st, err)
+	}
+	short, cancelShort := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancelShort()
+	if err := target.WaitReady(short); err == nil {
+		t.Fatal("WaitReady accepted a draining daemon")
+	}
+}
