@@ -6,6 +6,8 @@ package bmatch
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 
@@ -16,6 +18,7 @@ import (
 	"repro/internal/exact"
 	"repro/internal/frac"
 	"repro/internal/graph"
+	"repro/internal/graphio"
 	"repro/internal/matching"
 	"repro/internal/rng"
 	"repro/internal/stream"
@@ -42,29 +45,103 @@ func BenchmarkSequential(b *testing.B) {
 	}
 }
 
+// hugeKernelM is the 10^8-edge scaling point. It only joins the sweep when
+// BMATCH_BENCH_HUGE is set (and never under -short): building it takes tens
+// of seconds and several GB, which is trajectory-recording territory, not
+// CI smoke territory.
+const hugeKernelM = 100_000_000
+
+// kernelScalingGraph builds the m-edge scaling instance. Sizes through 10^7
+// use the in-memory generator; the 10^8 point would pay dearly for its
+// dedup set, so it exercises the big-instance pipeline end to end instead —
+// streaming generation into a BMG1 file, then the two-pass streaming
+// ingest that never materializes more than the final CSR.
+func kernelScalingGraph(b *testing.B, m int) *graph.Graph {
+	n := m / 10
+	r := rng.New(15)
+	if m < hugeKernelM {
+		return graph.Gnm(n, m, r.Split())
+	}
+	path := filepath.Join(b.TempDir(), "huge.bmg")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := graphio.NewBinaryWriter(f, n, m, nil, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := graph.GnmStream(n, m, 0, 0, r.Split(), w.Edge); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	g, _, err := graphio.ReadFile(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
 // BenchmarkKernelScaling is the committed ns/op scaling curve for the
-// fused CSR round kernels: one op is the fused vertex-sum + looseness
-// gather followed by the blocked loose-edge filter, swept over edge count
-// and worker-pool width. -short (the CI smoke configuration) keeps only
-// the smallest size; the full sweep is what BENCH_PR<n>.json trajectory
-// points record.
+// fused CSR round kernels, swept over kernel, value mode (f64 and the
+// half-footprint f32 slab), edge count, and worker-pool width. kernel=round
+// is the fused vertex-sum + looseness gather followed by the blocked
+// loose-edge filter — dominated by the CSR gather, whose cache-miss cost is
+// mode-independent. kernel=init is the blocked initialization — value and
+// capacity streams only, which is where halving the value bytes pays and
+// where BENCH_BUDGETS.json pins the f32/f64 ns ratio at the large sizes.
+// -short (the CI smoke configuration) keeps only the smallest size; the
+// full sweep — plus the 10^8-edge point behind BMATCH_BENCH_HUGE — is what
+// BENCH_PR<n>.json trajectory points record.
 func BenchmarkKernelScaling(b *testing.B) {
-	for _, m := range []int{100_000, 1_000_000, 10_000_000} {
+	sizes := []int{100_000, 1_000_000, 10_000_000}
+	if os.Getenv("BMATCH_BENCH_HUGE") != "" {
+		sizes = append(sizes, hugeKernelM)
+	}
+	for _, m := range sizes {
 		if testing.Short() && m > 100_000 {
 			continue
 		}
-		n := m / 10
-		r := rng.New(15)
-		g := graph.Gnm(n, m, r.Split())
+		g := kernelScalingGraph(b, m)
+		n := g.N
 		p := frac.BMatchingProblem(g, graph.UniformBudgets(n, 2))
+		w64 := frac.NewView[float64](p)
 		x := p.InitialValues(g.AvgDeg())
 		y := make([]float64, n)
+		q := make([]float64, n)
 		vl := make([]bool, n)
+		w32 := frac.NewView[float32](p)
+		x32 := make([]float32, len(x))
+		for i, v := range x {
+			x32[i] = float32(v)
+		}
+		y32 := make([]float32, n)
 		for _, workers := range []int{1, 2, 4, 8} {
-			b.Run(fmt.Sprintf("m=%d/workers=%d", m, workers), func(b *testing.B) {
+			b.Run(fmt.Sprintf("kernel=round/mode=f64/m=%d/workers=%d", m, workers), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					p.VLooseIntoWorkers(vl, y, x, 0.2, workers)
 					p.ELooseWorkers(x, 0.2, workers)
+				}
+			})
+			b.Run(fmt.Sprintf("kernel=round/mode=f32/m=%d/workers=%d", m, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					w32.VLooseIntoWorkers(vl, y32, x32, 0.2, workers)
+					w32.ELooseWorkers(x32, 0.2, workers)
+				}
+			})
+			b.Run(fmt.Sprintf("kernel=init/mode=f64/m=%d/workers=%d", m, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					w64.InitialValuesIntoWorkers(x, q, g.AvgDeg(), workers)
+				}
+			})
+			b.Run(fmt.Sprintf("kernel=init/mode=f32/m=%d/workers=%d", m, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					w32.InitialValuesIntoWorkers(x32, q, g.AvgDeg(), workers)
 				}
 			})
 		}

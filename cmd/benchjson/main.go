@@ -33,7 +33,10 @@
 //
 // -compare diffs the run against an earlier trajectory point on stderr
 // (informational only, never fails the run); -short forwards go test's
-// -short flag so size-gated benchmarks keep CI smoke runs cheap.
+// -short flag so size-gated benchmarks keep CI smoke runs cheap. Budget
+// entries whose benchmarks only exist in full runs carry
+// "skipInShort": true, so -short enforces the smoke pins without
+// tripping the matched-no-benchmark check on the size-gated ones.
 //
 // The workflow for the committed trajectory (see README "Benchmark
 // trajectory"): each PR that claims a perf win records a BENCH_PR<n>.json
@@ -177,7 +180,7 @@ func main() {
 	}
 
 	if *budgets != "" {
-		if violations := checkBudgets(*budgets, f.Results); len(violations) > 0 {
+		if violations := checkBudgets(*budgets, f.Results, *short); len(violations) > 0 {
 			for _, v := range violations {
 				fmt.Fprintln(os.Stderr, "BUDGET EXCEEDED:", v)
 			}
@@ -201,6 +204,10 @@ type BudgetEntry struct {
 	// MaxRatioTo in the same run — machine-independent, so no tolerance.
 	MaxRatioTo string  `json:"maxRatioTo,omitempty"`
 	MaxRatio   float64 `json:"maxRatio,omitempty"`
+	// SkipInShort marks entries whose benchmarks are size-gated out of
+	// -short runs (the CI smoke configuration): the entry is only enforced
+	// in full runs, instead of tripping the matched-no-benchmark check.
+	SkipInShort bool `json:"skipInShort,omitempty"`
 }
 
 // BudgetFile is the structured budget format; see the package comment.
@@ -236,10 +243,13 @@ func loadBudgets(path string) *BudgetFile {
 // checkBudgets returns one violation string per benchmark over a matching
 // pin. A budget pattern that matches no benchmark is itself a violation —
 // a renamed benchmark must not silently retire its pin.
-func checkBudgets(path string, results []Result) []string {
+func checkBudgets(path string, results []Result, short bool) []string {
 	bf := loadBudgets(path)
 	var violations []string
 	for _, ent := range bf.Entries {
+		if short && ent.SkipInShort {
+			continue
+		}
 		re, err := regexp.Compile(ent.Pattern)
 		if err != nil {
 			fatalf("budgets %s: bad regex %q: %v", path, ent.Pattern, err)

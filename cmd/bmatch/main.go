@@ -49,8 +49,10 @@ var (
 	seedFlag    = flag.Int64("seed", 1, "random seed")
 	workersFlag = flag.Int("workers", 0, "solver-internal parallelism (0 = serial; output is identical for every value)")
 	wFlag       = flag.Bool("weighted", false, "draw uniform weights in [1,10) (generators)")
+	valuesFlag  = flag.String("values", "", "solver value precision for -algo frac: f64 (default) or f32 (halved hot-vector traffic, see README \"Value modes\")")
 	paperFlag   = flag.Bool("paper", false, "use the paper's exact constants (see DESIGN.md)")
 	convertFlag = flag.String("convert", "", "write the instance to this file in BMG1 binary format and exit (no solve)")
+	streamFlag  = flag.String("stream-out", "", "generate straight to this BMG1 file edge by edge and exit (no solve; O(1) extra memory, so 10^8-edge instances are fine; -gen gnm or bipartite)")
 )
 
 func main() {
@@ -60,6 +62,7 @@ func main() {
 		Eps:            *epsFlag,
 		Workers:        *workersFlag,
 		PaperConstants: *paperFlag,
+		ValueMode:      *valuesFlag,
 	}
 	switch *algoFlag {
 	case "stream":
@@ -81,6 +84,13 @@ func main() {
 	if err := req.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "bmatch:", err)
 		os.Exit(2)
+	}
+	if *streamFlag != "" {
+		if err := streamGenerate(*streamFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "bmatch:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	g, b, err := buildInstance()
 	if err != nil {
@@ -136,6 +146,61 @@ func main() {
 		}
 	}
 	fmt.Printf("elapsed: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// streamGenerate writes a generated instance straight to a BMG1 file, one
+// edge at a time: the generator's callback feeds graphio.BinaryWriter, so
+// peak memory is the budget vector plus the output buffer no matter how
+// large -m is. RNG split order matches buildInstance (generator first,
+// budgets second), so seeds are comparable across the two paths.
+func streamGenerate(path string) error {
+	n, m := *nFlag, *mFlag
+	r := rng.New(*seedFlag)
+	gr, br := r.Split(), r.Split()
+	var b graph.Budgets
+	if *bFlag > 0 {
+		b = graph.UniformBudgets(n, *bFlag)
+	} else {
+		b = graph.RandomBudgets(n, 1, 4, br)
+	}
+	wlo, whi := 0.0, 0.0
+	if *wFlag {
+		wlo, whi = 1, 10
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := graphio.NewBinaryWriter(f, n, m, b, *wFlag)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	switch *genFlag {
+	case "gnm":
+		err = graph.GnmStream(n, m, wlo, whi, gr, w.Edge)
+	case "bipartite":
+		err = graph.BipartiteStream(n/2, n-n/2, m, wlo, whi, gr, w.Edge)
+	default:
+		return fmt.Errorf("-stream-out supports -gen gnm or bipartite, not %q", *genFlag)
+	}
+	if err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: n=%d m=%d, %d bytes BMG1 in %v (streamed, O(1) memory)\n",
+		path, n, m, st.Size(), time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 func buildInstance() (*graph.Graph, graph.Budgets, error) {

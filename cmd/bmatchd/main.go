@@ -76,6 +76,7 @@ var (
 	maxWorkersF   = flag.Int("max-solve-workers", 0, "max per-request workers= parallelism a client may request (0 = default of 64)")
 	pprofFlag     = flag.String("pprof", "", "optional address for the net/http/pprof debug listener (e.g. 127.0.0.1:6060); empty disables it")
 	mpcWorkerFlag = flag.Bool("mpc-worker", false, "run as an MPC transport worker instead of the HTTP daemon: serve the superstep delivery protocol on -addr until SIGINT/SIGTERM")
+	valuesFlag    = flag.String("values", "", "default solver value precision for requests without values= (f64 or f32; f32 applies to algo=frac only)")
 	mpcPeersFlag  = flag.String("mpc-workers", "", "comma-separated addresses of bmatchd -mpc-worker processes; when set, the fractional compression supersteps (the approx/frac simulator core) are delivered through them — auxiliary MPC-modeled phases of max/maxw stay in-process (results stay bit-identical to in-process delivery)")
 )
 
@@ -183,11 +184,12 @@ func main() {
 		maxTimeout = time.Duration(math.MaxInt64)
 	}
 	api := httpapi.NewServer(pool, httpapi.Config{
-		MaxBodyBytes: *maxBodyFlag,
-		MaxTimeout:   maxTimeout,
-		MaxWorkers:   *maxWorkersF,
-		MaxJobs:      *maxJobsFlag,
-		JobTTL:       *jobTTLFlag,
+		MaxBodyBytes:     *maxBodyFlag,
+		MaxTimeout:       maxTimeout,
+		MaxWorkers:       *maxWorkersF,
+		MaxJobs:          *maxJobsFlag,
+		JobTTL:           *jobTTLFlag,
+		DefaultValueMode: *valuesFlag,
 	})
 
 	// Every request context descends from solveCtx, so cancelling it on

@@ -62,12 +62,15 @@ var (
 	// asked for explicitly (e.g. "maxw@0.25=0.1").
 	mixFlag = flag.String("mix", "greedy=0.5,approx=0.25,frac=0.1,greedy:async=0.15",
 		"request mix: comma-separated algo[:async][@eps]=weight")
-	cancelFlag      = flag.Float64("cancel", 0, "probability a request is abandoned client-side after -cancel-after")
-	cancelAfterFlag = flag.Duration("cancel-after", 5*time.Millisecond, "when injected cancels fire")
-	timeoutProbFlag = flag.Float64("timeout-prob", 0, "probability a sync request carries -timeout-ms as its deadline (the 504 path)")
-	timeoutMsFlag   = flag.Int("timeout-ms", 1, "injected timeout_ms deadline")
-	inflightFlag    = flag.Int("max-inflight", 0, "cap on concurrently outstanding requests (0 = 4096); arrivals beyond it are shed and recorded, never delayed")
-	waitFlag        = flag.Duration("wait", 15*time.Second, "how long to wait for the daemon to report healthz status ok")
+	envelopeFlag       = flag.String("envelope", "", "arrival-rate envelope: constant (default), sin, or square; -rate stays the per-period mean")
+	envelopePeriodFlag = flag.Duration("envelope-period", 10*time.Second, "rate envelope period")
+	envelopeDepthFlag  = flag.Float64("envelope-depth", 0.5, "rate envelope relative modulation depth, in (0,1)")
+	cancelFlag         = flag.Float64("cancel", 0, "probability a request is abandoned client-side after -cancel-after")
+	cancelAfterFlag    = flag.Duration("cancel-after", 5*time.Millisecond, "when injected cancels fire")
+	timeoutProbFlag    = flag.Float64("timeout-prob", 0, "probability a sync request carries -timeout-ms as its deadline (the 504 path)")
+	timeoutMsFlag      = flag.Int("timeout-ms", 1, "injected timeout_ms deadline")
+	inflightFlag       = flag.Int("max-inflight", 0, "cap on concurrently outstanding requests (0 = 4096); arrivals beyond it are shed and recorded, never delayed")
+	waitFlag           = flag.Duration("wait", 15*time.Second, "how long to wait for the daemon to report healthz status ok")
 )
 
 func main() {
@@ -145,15 +148,16 @@ func configure(explicit map[string]bool) (*loadgen.Spec, []loadgen.FamilySpec, *
 		spec, corpus, slo = b.Workload, b.Corpus, &b.SLO
 	} else {
 		spec = loadgen.Spec{
-			Requests:    *requestsFlag,
-			Rate:        *rateFlag,
-			Seed:        *seedFlag,
-			ZipfS:       *zipfFlag,
-			SeedStreams: *streamsFlag,
-			CancelProb:  *cancelFlag,
-			CancelAfter: *cancelAfterFlag,
-			TimeoutProb: *timeoutProbFlag,
-			Timeout:     time.Duration(*timeoutMsFlag) * time.Millisecond,
+			Requests:     *requestsFlag,
+			Rate:         *rateFlag,
+			RateEnvelope: *envelopeFlag,
+			Seed:         *seedFlag,
+			ZipfS:        *zipfFlag,
+			SeedStreams:  *streamsFlag,
+			CancelProb:   *cancelFlag,
+			CancelAfter:  *cancelAfterFlag,
+			TimeoutProb:  *timeoutProbFlag,
+			Timeout:      time.Duration(*timeoutMsFlag) * time.Millisecond,
 		}
 		mix, err := parseMix(*mixFlag)
 		if err != nil {
@@ -171,6 +175,15 @@ func configure(explicit map[string]bool) (*loadgen.Spec, []loadgen.FamilySpec, *
 	}
 	if explicit["rate"] {
 		spec.Rate = *rateFlag
+	}
+	if explicit["envelope"] {
+		spec.RateEnvelope = *envelopeFlag
+	}
+	if explicit["envelope-period"] {
+		spec.EnvelopePeriod = *envelopePeriodFlag
+	}
+	if explicit["envelope-depth"] {
+		spec.EnvelopeDepth = *envelopeDepthFlag
 	}
 	if explicit["seed"] {
 		spec.Seed = *seedFlag

@@ -86,6 +86,15 @@ type Spec struct {
 	// served from it nor stored into it (Cache-Control: no-store
 	// semantics), so forced re-solves don't thrash the LRU.
 	NoCache bool
+	// ValueMode selects the solver's value precision: "" or "f64" (the
+	// default) runs the float64 kernels, "f32" opts the fractional solver
+	// (AlgoFrac only) into the float32 value-mode kernels, which halve the
+	// hot vectors' memory traffic on bandwidth-bound instances. f32 results
+	// are deterministic across worker counts and MPC transports, but they
+	// are NOT bit-comparable to f64 results, so the mode is part of the
+	// result-cache key — an f32 solve never serves from or stores into an
+	// f64 cache entry. See README "Value modes" for the error budget.
+	ValueMode string
 	// MPCTransport selects the MPC simulator's delivery backend for the
 	// fractional compression supersteps — the simulator core of approx and
 	// frac. Nil is the in-process pipeline; a non-nil factory (e.g. a
@@ -140,15 +149,29 @@ func (sp Spec) Validate() error {
 	if err := ValidateEps(sp.Eps); err != nil {
 		return fmt.Errorf("engine: %w", err)
 	}
+	vm, err := frac.ParseValueMode(sp.ValueMode)
+	if err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	if vm == frac.ValuesF32 && sp.Algo != AlgoFrac {
+		return fmt.Errorf("engine: value mode f32 requires algo frac (got %q)", sp.Algo)
+	}
 	return nil
 }
 
 func (sp Spec) eps() float64 { return EpsOrDefault(sp.Eps) }
 
+// values resolves the validated ValueMode spelling ("" means f64).
+func (sp Spec) values() frac.ValueMode {
+	vm, _ := frac.ParseValueMode(sp.ValueMode)
+	return vm
+}
+
 // resultKey identifies a solve in the result cache. Everything that can
-// change the output is part of the key.
+// change the output is part of the key — including the value mode, so f32
+// and f64 solves of the same instance never share an entry.
 func (sp Spec) resultKey(instanceKey string) string {
-	return fmt.Sprintf("%s|%s|%g|%d|%t", instanceKey, sp.Algo, sp.eps(), sp.Seed, sp.PaperConstants)
+	return fmt.Sprintf("%s|%s|%g|%d|%t|%s", instanceKey, sp.Algo, sp.eps(), sp.Seed, sp.PaperConstants, sp.values())
 }
 
 // Result is a completed solve. Results are immutable and may be shared by
@@ -502,6 +525,7 @@ func solveScratch(ctx context.Context, g *graph.Graph, b graph.Budgets, spec Spe
 	params.Workers = spec.Workers
 	params.Scratch = ar
 	params.Transport = spec.MPCTransport
+	params.Values = spec.values() // Validate restricts f32 to AlgoFrac
 
 	sol := &Solved{}
 	switch spec.Algo {
@@ -544,8 +568,15 @@ func solveScratch(ctx context.Context, g *graph.Graph, b graph.Budgets, spec Spe
 		}
 		// Same guard as the integral algos' Validate below: an infeasible
 		// LP solution is an internal bug that must fail the request, not
-		// be served (and cached, and replayed) as a 200.
-		if err := p.CheckFeasible(full.X); err != nil {
+		// be served (and cached, and replayed) as a 200. The f32 mode gets
+		// the float32 tolerance: per-edge values are clamped to capacity,
+		// but a vertex's sum of rounded values can exceed b_v by
+		// ~2^-23·Σx_e, which is noise, not infeasibility.
+		tol := 1e-9
+		if params.Values == frac.ValuesF32 {
+			tol = 1e-6
+		}
+		if err := p.CheckFeasibleTol(full.X, tol); err != nil {
 			return nil, fmt.Errorf("engine: internal: frac solver produced an infeasible solution: %w", err)
 		}
 		covV, covE := p.VertexCover(full.X, 0.05)

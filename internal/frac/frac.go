@@ -85,9 +85,16 @@ func (p *Problem) VertexSumsInto(dst []float64, x []float64) []float64 {
 // VertexSumsIntoWorkers is VertexSumsInto with an explicit worker-pool
 // width (0 = GOMAXPROCS). Results are identical for every width.
 func (p *Problem) VertexSumsIntoWorkers(dst []float64, x []float64, workers int) []float64 {
+	return p.view64().VertexSumsIntoWorkers(dst, x, workers)
+}
+
+// VertexSumsIntoWorkers is the value-mode variant: x is V-typed, the sums
+// accumulate (and are returned) in float64. Results are identical for every
+// worker-pool width.
+func (w View[V]) VertexSumsIntoWorkers(dst []float64, x []V, workers int) []float64 {
 	ar, done := scratch.Borrow(nil)
 	defer done()
-	p.vertexSumsGather(dst, x, workers, vertexBlocksScratch(p.G, vertexWorkGrain, ar))
+	w.vertexSumsGather(dst, x, workers, vertexBlocksScratch(w.p.G, vertexWorkGrain, ar))
 	return dst
 }
 
@@ -117,9 +124,15 @@ func (p *Problem) VLooseInto(dst []bool, y []float64, x []float64, alpha float64
 // VLooseIntoWorkers is VLooseInto with an explicit worker-pool width
 // (0 = GOMAXPROCS). Results are identical for every width.
 func (p *Problem) VLooseIntoWorkers(dst []bool, y []float64, x []float64, alpha float64, workers int) []bool {
+	return p.view64().VLooseIntoWorkers(dst, y, x, alpha, workers)
+}
+
+// VLooseIntoWorkers is the value-mode variant of the fused looseness
+// kernel; the indicator compares the float64 sum, y stores it rounded to V.
+func (w View[V]) VLooseIntoWorkers(dst []bool, y []V, x []V, alpha float64, workers int) []bool {
 	ar, done := scratch.Borrow(nil)
 	defer done()
-	p.vLooseGather(dst, y, x, alpha, workers, vertexBlocksScratch(p.G, vertexWorkGrain, ar))
+	w.vLooseGather(dst, y, x, alpha, workers, vertexBlocksScratch(w.p.G, vertexWorkGrain, ar))
 	return dst
 }
 
@@ -134,7 +147,20 @@ func (p *Problem) ELoose(x []float64, alpha float64) []int32 {
 // ELooseWorkers is ELoose with an explicit worker-pool width
 // (0 = GOMAXPROCS). Results are identical for every width.
 func (p *Problem) ELooseWorkers(x []float64, alpha float64, workers int) []int32 {
-	return p.eLooseWorkers(x, alpha, workers)
+	return p.view64().eLooseWorkers(x, alpha, workers)
+}
+
+// ELooseWorkers is the value-mode variant; the loose-edge ids come back in
+// the same ascending order for every value type and worker count.
+func (w View[V]) ELooseWorkers(x []V, alpha float64, workers int) []int32 {
+	return w.eLooseWorkers(x, alpha, workers)
+}
+
+// InitialValuesWorkers is the value-mode blocked initialization, allocating
+// its result and scratch (benchmark/test entry point; drivers use the
+// arena-backed kernel directly).
+func (w View[V]) InitialValuesWorkers(avgDeg float64, workers int) []V {
+	return w.initialValuesWorkers(make([]V, w.p.G.M()), make([]float64, w.p.G.N), avgDeg, workers)
 }
 
 // IsTight reports whether x is α-tight: E_loose(x, α) = ∅.
@@ -145,7 +171,15 @@ func (p *Problem) IsTight(x []float64, alpha float64) bool {
 // CheckFeasible verifies 0 ≤ x_e ≤ r_e and Σ_{e∈E(v)} x_e ≤ b_v, with a
 // small relative tolerance for floating-point accumulation.
 func (p *Problem) CheckFeasible(x []float64) error {
-	const tol = 1e-9
+	return p.CheckFeasibleTol(x, 1e-9)
+}
+
+// CheckFeasibleTol is CheckFeasible with an explicit relative tolerance.
+// The f64 drivers keep the historical 1e-9; the float32 value mode needs a
+// wider one (~1e-6): per-edge stores round to float32, so a vertex sum can
+// exceed b_v by up to ~deg·ulp(x̄) ≈ 2⁻²³·Σx even though every rounding is
+// individually clamped to its edge capacity.
+func (p *Problem) CheckFeasibleTol(x []float64, tol float64) error {
 	if len(x) != p.G.M() {
 		return fmt.Errorf("frac: |x| = %d, want m = %d", len(x), p.G.M())
 	}
@@ -193,6 +227,15 @@ func (p *Problem) InitialValues(avgDeg float64) []float64 {
 	return p.InitialValuesInto(make([]float64, p.G.M()), make([]float64, p.G.N), avgDeg)
 }
 
+// InitialValuesIntoWorkers is InitialValuesWorkers writing into dst
+// (len m) with q (len n) as per-vertex scratch: the q table builds in
+// float64, the edge pass stores in V (with a native float32 fast path).
+// The scaling benchmarks drive it directly to time the kernel without
+// allocation.
+func (w View[V]) InitialValuesIntoWorkers(dst []V, q []float64, avgDeg float64, workers int) []V {
+	return w.initialValuesWorkers(dst, q, avgDeg, workers)
+}
+
 // InitialValuesInto is InitialValues writing into dst (len m), using q
 // (len n) as per-vertex scratch. It returns dst.
 func (p *Problem) InitialValuesInto(dst, q []float64, avgDeg float64) []float64 {
@@ -221,6 +264,11 @@ func (p *Problem) InitialValuesUnclamped() []float64 {
 }
 
 func (p *Problem) initialValuesUnclampedInto(dst, q []float64) []float64 {
+	return p.view64().initialValuesUnclampedInto(dst, q)
+}
+
+func (w View[V]) initialValuesUnclampedInto(dst []V, q []float64) []V {
+	p := w.p
 	for v := 0; v < p.G.N; v++ {
 		d := float64(p.G.Deg(int32(v)))
 		if d <= 0 {
@@ -231,7 +279,7 @@ func (p *Problem) initialValuesUnclampedInto(dst, q []float64) []float64 {
 	}
 	for e := range p.G.Edges {
 		ed := p.G.Edges[e]
-		dst[e] = math.Min(p.R[e], math.Min(q[ed.U], q[ed.V]))
+		dst[e] = V(math.Min(float64(w.r[e]), math.Min(q[ed.U], q[ed.V])))
 	}
 	return dst
 }
@@ -253,20 +301,22 @@ func NewThresholds(p *Problem, T int, r *rng.RNG) ThresholdFn {
 // a threshold table two allocations instead of n+1; with an arena-borrowed
 // slab (newThresholdsScratch) it is zero. The draw order — vertices
 // ascending, rounds 1..T within a vertex — is part of the determinism
-// contract and must not change.
-func thresholdsInto(p *Problem, T int, r *rng.RNG, tab []float64) ThresholdFn {
+// contract and must not change; the value type only affects how the drawn
+// float64 is stored (ThresholdFn always hands back float64, converting on
+// read, so comparisons stay full-precision either way).
+func thresholdsInto[V Val](p *Problem, T int, r *rng.RNG, tab []V) ThresholdFn {
 	stride := T + 1
 	for v := 0; v < p.G.N; v++ {
 		row := tab[v*stride : (v+1)*stride]
 		row[0] = 0 // t=0 is never drawn; keep it defined even on a raw slab
 		for t := 1; t <= T; t++ {
-			row[t] = r.Uniform(0.2*p.B[v], 0.4*p.B[v])
+			row[t] = V(r.Uniform(0.2*p.B[v], 0.4*p.B[v]))
 		}
 	}
 	b := p.B
 	return func(v int32, t int) float64 {
 		if t < stride {
-			return tab[int(v)*stride+t]
+			return float64(tab[int(v)*stride+t])
 		}
 		// Beyond the pre-drawn horizon (only reachable if callers ask for
 		// more rounds than they declared): fall back to the interval midpoint.
@@ -277,8 +327,8 @@ func thresholdsInto(p *Problem, T int, r *rng.RNG, tab []float64) ThresholdFn {
 // newThresholdsScratch is NewThresholds drawing its table from ar. The
 // returned ThresholdFn borrows from ar and must not outlive the caller's
 // release scope.
-func newThresholdsScratch(p *Problem, T int, r *rng.RNG, ar *scratch.Arena) ThresholdFn {
-	return thresholdsInto(p, T, r, ar.F64Raw(p.G.N*(T+1)))
+func newThresholdsScratch[V Val](p *Problem, T int, r *rng.RNG, ar *scratch.Arena) ThresholdFn {
+	return thresholdsInto(p, T, r, grabV[V](ar, p.G.N*(T+1)))
 }
 
 // FixedThresholds returns the ablation threshold rule T_{v,t} = c·b_v
@@ -334,6 +384,17 @@ func (p *Problem) SequentialScratch(ctx context.Context, T int, thresholds Thres
 	return x, nil
 }
 
+// SequentialScratch is the value-mode sequential driver: Algorithm 1 with
+// the working vectors in V precision. Like the float64 form it is
+// bit-identical for every worker count and arena.
+func (w View[V]) SequentialScratch(ctx context.Context, T int, thresholds ThresholdFn, r *rng.RNG, ar *scratch.Arena) ([]V, error) {
+	x := make([]V, w.p.G.M())
+	if err := sequentialInto(ctx, w, x, T, thresholds, r, ar, 0); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
 // sequentialInto runs Algorithm 1 writing the solution into x (len m).
 // All working buffers come from ar. Each round is two fused blocked
 // sweeps instead of the four serial passes of the textbook form: a
@@ -343,13 +404,22 @@ func (p *Problem) SequentialScratch(ctx context.Context, T int, thresholds Thres
 // order — the same additions in the same order as the serial edge sweep —
 // so the solution is bit-identical for every worker count and grain.
 func (p *Problem) sequentialInto(ctx context.Context, x []float64, T int, thresholds ThresholdFn, r *rng.RNG, ar *scratch.Arena, workers int) error {
+	return sequentialInto(ctx, p.view64(), x, T, thresholds, r, ar, workers)
+}
+
+// sequentialInto is the generic Algorithm 1 core. Per-vertex sums
+// accumulate in float64 whatever V is (the threshold comparison needs full
+// precision); doubling a V value is exact in either type, so the float32
+// mode rounds only at initialization.
+func sequentialInto[V Val](ctx context.Context, w View[V], x []V, T int, thresholds ThresholdFn, r *rng.RNG, ar *scratch.Arena, workers int) error {
 	ar, done := scratch.Borrow(ar)
 	defer done()
+	p := w.p
 	if thresholds == nil {
-		thresholds = newThresholdsScratch(p, T, r, ar)
+		thresholds = newThresholdsScratch[V](p, T, r, ar)
 	}
 	g := p.G
-	p.initialValuesWorkers(x, ar.F64Raw(g.N), g.AvgDeg(), workers)
+	w.initialValuesWorkers(x, ar.F64Raw(g.N), g.AvgDeg(), workers)
 	active := ar.BoolRaw(g.N) // V_t^active
 	for v := range active {
 		active[v] = true
@@ -369,7 +439,7 @@ func (p *Problem) sequentialInto(ctx context.Context, x []float64, T int, thresh
 				}
 				var s float64
 				for _, e := range g.Incident(v) {
-					s += x[e]
+					s += float64(x[e])
 				}
 				if s > thresholds(v, t) {
 					active[v] = false
@@ -381,7 +451,7 @@ func (p *Problem) sequentialInto(ctx context.Context, x []float64, T int, thresh
 	edgePass := func(lo, hi int) {
 		for e := lo; e < hi; e++ {
 			ed := g.Edges[e]
-			if active[ed.U] && active[ed.V] && x[e] <= p.R[e]/2 {
+			if active[ed.U] && active[ed.V] && float64(x[e]) <= float64(w.r[e])/2 {
 				x[e] *= 2
 			}
 		}

@@ -57,11 +57,27 @@ func (p *Problem) FullMPC(params MPCParams, r *rng.RNG) *FullResult {
 // simulator superstep boundary), so a cancelled solve aborts within one
 // round of work and returns ctx's error with no partial solution. A
 // completed run is bit-identical to FullMPC with the same inputs.
+// params.Values selects the value mode the driver instantiates; the
+// returned X is always float64 (an exact conversion from float32).
 func (p *Problem) FullMPCCtx(ctx context.Context, params MPCParams, r *rng.RNG) (*FullResult, error) {
+	if params.Values == ValuesF32 {
+		return fullMPC[float32](ctx, p, params, r)
+	}
+	return fullMPC[float64](ctx, p, params, r)
+}
+
+// fullMPC is the generic Algorithm 3 driver. The accumulated solution and
+// the subproblem solutions are V-typed; the remaining-capacity vectors and
+// the looseness sums stay float64. For V = float64 xAcc IS the returned X
+// (toF64 aliases), so the f64 path allocates and computes exactly as the
+// pre-generic driver did.
+func fullMPC[V Val](ctx context.Context, p *Problem, params MPCParams, r *rng.RNG) (*FullResult, error) {
 	g := p.G
 	n, m := g.N, g.M()
-	res := &FullResult{X: make([]float64, m)}
+	xAcc := make([]V, m)
+	res := &FullResult{}
 	if m == 0 {
+		res.X = toF64(xAcc)
 		res.Converged = true
 		return res, nil
 	}
@@ -71,6 +87,7 @@ func (p *Problem) FullMPCCtx(ctx context.Context, params MPCParams, r *rng.RNG) 
 	ar, done := scratch.Borrow(params.Scratch)
 	defer done()
 	params.Scratch = ar
+	w := viewScratch[V](p, ar)
 
 	active := ar.I32Raw(m)
 	for e := range active {
@@ -95,7 +112,7 @@ func (p *Problem) FullMPCCtx(ctx context.Context, params MPCParams, r *rng.RNG) 
 		iterMark := ar.Mark()
 
 		// Remaining capacities w.r.t. the accumulated solution (lines 6-7).
-		p.vertexSumsGather(ySum, res.X, params.Workers, vb)
+		w.vertexSumsGather(ySum, xAcc, params.Workers, vb)
 		y := ySum
 		bRem := ar.F64Raw(n)
 		for v := 0; v < n; v++ {
@@ -104,12 +121,13 @@ func (p *Problem) FullMPCCtx(ctx context.Context, params MPCParams, r *rng.RNG) 
 		sub, orig := g.Subgraph(active)
 		rRem := ar.F64Raw(len(orig))
 		for i, e := range orig {
-			rRem[i] = math.Max(0, p.R[e]-res.X[e])
+			rRem[i] = math.Max(0, p.R[e]-float64(xAcc[e]))
 		}
 		subProb, err := NewProblem(sub, bRem, rRem)
 		if err != nil {
 			panic(err) // capacities are clamped non-negative; unreachable
 		}
+		subView := viewScratch[V](subProb, ar)
 
 		// Branch (line 8): round compression while the active subgraph is
 		// large, sequential otherwise. A stall guard forces the sequential
@@ -117,46 +135,45 @@ func (p *Problem) FullMPCCtx(ctx context.Context, params MPCParams, r *rng.RNG) 
 		// (the paper gets the same effect from its "good iteration with
 		// probability ≥ 1/2" argument).
 		useMPC := float64(len(active)) >= switchBelow && stallStreak < 3
-		var xPrime []float64
+		var xPrime []V
 		if useMPC {
-			or, err := subProb.OneRoundMPCCtx(ctx, params, nil, r.Split())
+			or, err := oneRoundMPC(ctx, subView, params, nil, r.Split())
 			if err != nil {
 				return nil, err
 			}
-			xPrime = or.X
+			xPrime = or.x
 			stat.UsedMPC = true
-			stat.SimRounds = or.Stats.Rounds
-			stat.T = or.T
+			stat.SimRounds = or.stats.Rounds
+			stat.T = or.t
 			res.MPCSteps++
-			res.TotalSimRounds += or.Stats.Rounds
-			if or.MaxMachineEdges > res.MaxMachineEdges {
-				res.MaxMachineEdges = or.MaxMachineEdges
+			res.TotalSimRounds += or.stats.Rounds
+			if or.maxMachineEdges > res.MaxMachineEdges {
+				res.MaxMachineEdges = or.maxMachineEdges
 			}
-			res.SimStats.Rounds += or.Stats.Rounds
-			res.SimStats.TotalTraffic += or.Stats.TotalTraffic
-			if or.Stats.MaxRoundIO > res.SimStats.MaxRoundIO {
-				res.SimStats.MaxRoundIO = or.Stats.MaxRoundIO
+			res.SimStats.Rounds += or.stats.Rounds
+			res.SimStats.TotalTraffic += or.stats.TotalTraffic
+			if or.stats.MaxRoundIO > res.SimStats.MaxRoundIO {
+				res.SimStats.MaxRoundIO = or.stats.MaxRoundIO
 			}
-			if or.Stats.MaxMachineWords > res.SimStats.MaxMachineWords {
-				res.SimStats.MaxMachineWords = or.Stats.MaxMachineWords
+			if or.stats.MaxMachineWords > res.SimStats.MaxMachineWords {
+				res.SimStats.MaxMachineWords = or.stats.MaxMachineWords
 			}
 		} else {
-			xPrime = ar.F64Raw(len(orig))
-			if err := subProb.sequentialInto(ctx, xPrime, TightRounds(len(active)), nil, r.Split(), ar, params.Workers); err != nil {
+			xPrime = grabV[V](ar, len(orig))
+			if err := sequentialInto(ctx, subView, xPrime, TightRounds(len(active)), nil, r.Split(), ar, params.Workers); err != nil {
 				return nil, err
 			}
 			res.SequentialSteps++
 			res.TotalSimRounds++ // one simulated machine-local round
 		}
 
-		// Accumulate (line 13).
-		for i, e := range orig {
-			res.X[e] += xPrime[i]
-		}
+		// Accumulate (line 13); the f32 path clamps each rounded store to
+		// the V-precision edge capacity (see value.go).
+		accumulate(xAcc, w.r, xPrime, orig)
 
 		// E_active ← E_active ∩ E_loose(x, 0.05) (line 14), with looseness
 		// measured against the ORIGINAL capacities.
-		active = p.intersectLoose(active, res.X, 0.05, ySum, params.Workers, vb)
+		active = w.intersectLoose(active, xAcc, 0.05, ySum, params.Workers, vb)
 		ar.Release(iterMark)
 		if len(active) >= stat.ActiveEdges {
 			stallStreak++
@@ -166,18 +183,20 @@ func (p *Problem) FullMPCCtx(ctx context.Context, params MPCParams, r *rng.RNG) 
 		res.History = append(res.History, stat)
 	}
 	res.Converged = len(active) == 0
+	res.X = toF64(xAcc)
 	return res, nil
 }
 
 // intersectLoose returns the members of active that lie in E_loose(x, α),
 // using y (len n) as vertex-sum scratch and vb as the blocked gather's
 // vertex-block boundaries. The in-place compaction keeps ascending order.
-func (p *Problem) intersectLoose(active []int32, x []float64, alpha float64, y []float64, workers int, vb []int32) []int32 {
-	p.vertexSumsGather(y, x, workers, vb)
+func (w View[V]) intersectLoose(active []int32, x []V, alpha float64, y []float64, workers int, vb []int32) []int32 {
+	p := w.p
+	w.vertexSumsGather(y, x, workers, vb)
 	out := active[:0]
 	for _, e := range active {
 		ed := p.G.Edges[e]
-		if x[e] < alpha*p.R[e] && y[ed.U] < alpha*p.B[ed.U] && y[ed.V] < alpha*p.B[ed.V] {
+		if float64(x[e]) < alpha*float64(w.r[e]) && y[ed.U] < alpha*p.B[ed.U] && y[ed.V] < alpha*p.B[ed.V] {
 			out = append(out, e)
 		}
 	}

@@ -70,6 +70,12 @@ type MPCParams struct {
 	// nil borrows from the package pool. Purely an allocation knob: results
 	// are bit-identical for every arena and across arena reuse.
 	Scratch *scratch.Arena
+	// Values selects the value type of the solver's hot vectors. The
+	// default ValuesF64 reproduces the pre-generic float64 results bit for
+	// bit; ValuesF32 halves kernel memory traffic at the documented
+	// relative-error budget (README "Value modes"). Either mode is
+	// bit-identical across worker counts, transports, and arenas.
+	Values ValueMode
 }
 
 // PaperParams returns the constants exactly as in the paper (TDivisor 1000),
@@ -124,11 +130,54 @@ func (p *Problem) OneRoundMPC(params MPCParams, thresholds ThresholdFn, r *rng.R
 // simulator checks ctx at every superstep boundary and the driver aborts
 // between supersteps, returning ctx's error with no partial solution. A
 // completed run is bit-identical to OneRoundMPC with the same inputs.
+// params.Values selects the value mode; the returned X is always float64
+// (an exact conversion — every float32 value is float64-representable).
 func (p *Problem) OneRoundMPCCtx(ctx context.Context, params MPCParams, thresholds ThresholdFn, r *rng.RNG) (*OneRoundResult, error) {
+	if params.Values == ValuesF32 {
+		ar, done := scratch.Borrow(params.Scratch)
+		defer done()
+		out, err := oneRoundMPC(ctx, viewScratch[float32](p, ar), params, thresholds, r)
+		if err != nil {
+			return nil, err
+		}
+		return out.result(), nil
+	}
+	out, err := oneRoundMPC(ctx, p.view64(), params, thresholds, r)
+	if err != nil {
+		return nil, err
+	}
+	return out.result(), nil
+}
+
+// oneRoundOut is the value-typed output of the generic compression step.
+type oneRoundOut[V Val] struct {
+	x               []V
+	n, t            int
+	machines        int
+	maxMachineEdges int
+	stats           mpc.Stats
+}
+
+func (o *oneRoundOut[V]) result() *OneRoundResult {
+	return &OneRoundResult{
+		X: toF64(o.x), N: o.n, T: o.t, Machines: o.machines,
+		MaxMachineEdges: o.maxMachineEdges, Stats: o.stats,
+	}
+}
+
+// oneRoundMPC is the generic Algorithm 2 core. The value type V touches
+// only the per-edge working vectors (x̃ and its round-2 local copy) and the
+// threshold table storage: the local estimate sums, the round-3 partial
+// sums on the wire (float64 bits packed into int64 pairs, unchanged wire
+// format), and the round-4 bad-vertex totals all stay float64, because
+// those are the comparisons Theorem 3.14's feasibility restoration hangs
+// on. For V = float64 every conversion below is the identity.
+func oneRoundMPC[V Val](ctx context.Context, w View[V], params MPCParams, thresholds ThresholdFn, r *rng.RNG) (*oneRoundOut[V], error) {
+	p := w.p
 	g := p.G
 	n, m := g.N, g.M()
 	if m == 0 {
-		return &OneRoundResult{X: make([]float64, 0), N: 1, Machines: 1}, nil
+		return &oneRoundOut[V]{x: make([]V, 0), n: 1, machines: 1}, nil
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -143,14 +192,14 @@ func (p *Problem) OneRoundMPCCtx(ctx context.Context, params MPCParams, threshol
 	}
 	T := params.pickT(N)
 	if thresholds == nil {
-		thresholds = newThresholdsScratch(p, T, r, ar)
+		thresholds = newThresholdsScratch[V](p, T, r, ar)
 	}
 	workers := params.Workers
-	x0 := ar.F64Raw(m)
+	x0 := grabV[V](ar, m)
 	if params.InitNoClamp {
-		p.initialValuesUnclampedInto(x0, ar.F64Raw(n))
+		w.initialValuesUnclampedInto(x0, ar.F64Raw(n))
 	} else {
-		p.initialValuesWorkers(x0, ar.F64Raw(n), davg, workers)
+		w.initialValuesWorkers(x0, ar.F64Raw(n), davg, workers)
 	}
 
 	// Random vertex partition (line 3 of Algorithm 2).
@@ -315,10 +364,10 @@ func (p *Problem) OneRoundMPCCtx(ctx context.Context, params MPCParams, threshol
 	// (its partition's vertices, its held edges), so concurrent writes are
 	// race-free. xFinal escapes in the result and stays heap-allocated.
 	lastActive := ar.I32Raw(n)
-	act := ar.BoolRaw(n) // round-2 activity, per partition vertex
-	ySum := ar.F64Raw(n) // round-2 local estimate sums, per partition vertex
-	xw := ar.F64Raw(m)   // round-2 local edge values, per induced edge
-	xFinal := make([]float64, m)
+	act := ar.BoolRaw(n)  // round-2 activity, per partition vertex
+	ySum := ar.F64Raw(n)  // round-2 local estimate sums, per partition vertex (always f64)
+	xw := grabV[V](ar, m) // round-2 local edge values, per induced edge
+	xFinal := make([]V, m)
 
 	// ---- Round 1: shuffle induced edges to their partition machines,
 	// batched per destination (same words and delivery order as one message
@@ -479,8 +528,8 @@ func (p *Problem) OneRoundMPCCtx(ctx context.Context, params MPCParams, threshol
 			for _, e := range locals {
 				xw[e] = x0[e]
 				ed := g.Edges[e]
-				ySum[ed.U] += x0[e]
-				ySum[ed.V] += x0[e]
+				ySum[ed.U] += float64(x0[e])
+				ySum[ed.V] += float64(x0[e])
 			}
 		} else {
 			for _, e := range locals {
@@ -509,12 +558,12 @@ func (p *Problem) OneRoundMPCCtx(ctx context.Context, params MPCParams, threshol
 			last := t == T
 			for _, e := range locals {
 				ed := g.Edges[e]
-				if act[ed.U] && act[ed.V] && xw[e] <= p.R[e]/2 {
+				if act[ed.U] && act[ed.V] && float64(xw[e]) <= float64(w.r[e])/2 {
 					xw[e] *= 2
 				}
 				if !last {
-					ySum[ed.U] += xw[e]
-					ySum[ed.V] += xw[e]
+					ySum[ed.U] += float64(xw[e])
+					ySum[ed.V] += float64(xw[e])
 				}
 			}
 		}
@@ -577,27 +626,33 @@ func (p *Problem) OneRoundMPCCtx(ctx context.Context, params MPCParams, threshol
 		for _, e := range mine {
 			ed := g.Edges[e]
 			horizon := minInt32(last[ed.U], last[ed.V])
-			cur := x0[e]
+			// Doubling a V value is exact in float64 (an exponent bump of a
+			// V-representable number), so V(cur) re-stores without rounding
+			// and the float64 partials sum exactly the stored values —
+			// which is what the round-4 bad-vertex totals must measure.
+			cur := float64(x0[e])
+			rHalf := float64(w.r[e]) / 2
 			for t := int32(1); t <= horizon; t++ {
-				if cur <= p.R[e]/2 {
+				if cur <= rHalf {
 					cur *= 2
 				} else {
 					break
 				}
 			}
-			xFinal[e] = cur
+			xf := V(cur)
+			xFinal[e] = xf
 			if !seen[ed.U] {
 				seen[ed.U] = true
 				partial[ed.U] = 0
 				touched = append(touched, ed.U)
 			}
-			partial[ed.U] += cur
+			partial[ed.U] += float64(xf)
 			if !seen[ed.V] {
 				seen[ed.V] = true
 				partial[ed.V] = 0
 				touched = append(touched, ed.V)
 			}
-			partial[ed.V] += cur
+			partial[ed.V] += float64(xf)
 		}
 		if len(touched) == 0 {
 			return
@@ -747,13 +802,13 @@ func (p *Problem) OneRoundMPCCtx(ctx context.Context, params MPCParams, threshol
 		return nil, err
 	}
 
-	return &OneRoundResult{
-		X:               xFinal,
-		N:               N,
-		T:               T,
-		Machines:        mtot,
-		MaxMachineEdges: maxMachineEdges,
-		Stats:           sim.Stats(),
+	return &oneRoundOut[V]{
+		x:               xFinal,
+		n:               N,
+		t:               T,
+		machines:        mtot,
+		maxMachineEdges: maxMachineEdges,
+		stats:           sim.Stats(),
 	}, nil
 }
 

@@ -67,6 +67,27 @@ func New(n int, edges []Edge) (*Graph, error) {
 	return g, nil
 }
 
+// NewFromCSR adopts edges together with an already-built CSR adjacency
+// index instead of rebuilding one. graphio's streaming BMG1 loader fills
+// the index during its second pass over the input, so a 10^8-edge instance
+// decodes without buildAdj's extra counting pass or edge-slice copy. The
+// caller must have validated the edges (endpoint range, self-loops,
+// weights) and built the index in exactly the canonical layout — adjStart
+// is the prefix-degree scan and each vertex's incident ids appear in
+// ascending edge-id order; only the index's shape is checked here.
+func NewFromCSR(n int, edges []Edge, adjStart, adjEdges []int32) (*Graph, error) {
+	if len(adjStart) != n+1 {
+		return nil, fmt.Errorf("graph: adjStart has %d entries, want n+1 = %d", len(adjStart), n+1)
+	}
+	if len(adjEdges) != 2*len(edges) {
+		return nil, fmt.Errorf("graph: adjEdges has %d entries, want 2m = %d", len(adjEdges), 2*len(edges))
+	}
+	if adjStart[0] != 0 || int(adjStart[n]) != 2*len(edges) {
+		return nil, fmt.Errorf("graph: adjStart is not a prefix-degree scan (ends %d..%d, want 0..%d)", adjStart[0], adjStart[n], 2*len(edges))
+	}
+	return &Graph{N: n, Edges: edges, adjStart: adjStart, adjEdges: adjEdges}, nil
+}
+
 // MustNew is New that panics on error; for use in tests and generators that
 // construct edges known to be valid.
 func MustNew(n int, edges []Edge) *Graph {

@@ -1,0 +1,69 @@
+// Streaming edge emission for workloads too large to materialize. The
+// map-deduplicated generators in gen.go hold every edge (plus a seen-set)
+// in memory, which caps them well below the 10^8-edge scaling instances;
+// the *Stream variants here emit edges through a callback in one pass with
+// O(1) extra memory instead. The price is the dedup set: endpoints are
+// drawn i.i.d., so duplicate edges are possible (a multigraph). At the
+// scales these generators exist for the expected duplicate fraction is
+// ~m/(n(n-1)/2) — negligible — and every solver in this repository is
+// well-defined on multigraphs (edges are addressed by id, never by
+// endpoint pair).
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// EmitFunc receives one generated edge. Returning an error aborts the
+// generator, which propagates it unchanged.
+type EmitFunc func(u, v int32, w float64) error
+
+// GnmStream emits exactly m edges of a uniform random multigraph on n
+// vertices. Per edge the draw order is fixed — u, then v (redrawn while it
+// collides with u), then the weight when whi > wlo — so output depends only
+// on (n, m, wlo, whi, r). Weights are i.i.d. uniform in [wlo, whi) when
+// whi > wlo, and 1 otherwise.
+func GnmStream(n, m int, wlo, whi float64, r *rng.RNG, emit EmitFunc) error {
+	if n < 2 {
+		return fmt.Errorf("graph: GnmStream needs n ≥ 2, got %d", n)
+	}
+	for i := 0; i < m; i++ {
+		u := int32(r.Intn(n))
+		v := int32(r.Intn(n))
+		for v == u {
+			v = int32(r.Intn(n))
+		}
+		w := 1.0
+		if whi > wlo {
+			w = r.Uniform(wlo, whi)
+		}
+		if err := emit(u, v, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BipartiteStream emits exactly m edges of a random bipartite multigraph
+// with nl left vertices (ids 0..nl-1) and nr right vertices
+// (ids nl..nl+nr-1). Draw order per edge: u, v, then the weight when
+// whi > wlo, exactly like GnmStream.
+func BipartiteStream(nl, nr, m int, wlo, whi float64, r *rng.RNG, emit EmitFunc) error {
+	if nl < 1 || nr < 1 {
+		return fmt.Errorf("graph: BipartiteStream needs both sides non-empty, got %d and %d", nl, nr)
+	}
+	for i := 0; i < m; i++ {
+		u := int32(r.Intn(nl))
+		v := int32(nl + r.Intn(nr))
+		w := 1.0
+		if whi > wlo {
+			w = r.Uniform(wlo, whi)
+		}
+		if err := emit(u, v, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func collectStream(t *testing.T, run func(emit EmitFunc) error) []Edge {
+	t.Helper()
+	var out []Edge
+	if err := run(func(u, v int32, w float64) error {
+		out = append(out, Edge{U: u, V: v, W: w})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestGnmStreamDeterministicAndValid(t *testing.T) {
+	const n, m = 500, 4000
+	a := collectStream(t, func(emit EmitFunc) error { return GnmStream(n, m, 1, 10, rng.New(3), emit) })
+	b := collectStream(t, func(emit EmitFunc) error { return GnmStream(n, m, 1, 10, rng.New(3), emit) })
+	if len(a) != m {
+		t.Fatalf("emitted %d edges, want %d", len(a), m)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d differs across identical seeds: %v vs %v", i, a[i], b[i])
+		}
+		e := a[i]
+		if e.U == e.V || e.U < 0 || e.V < 0 || int(e.U) >= n || int(e.V) >= n {
+			t.Fatalf("edge %d = %v invalid for n=%d", i, e, n)
+		}
+		if e.W < 1 || e.W >= 10 {
+			t.Fatalf("edge %d weight %v outside [1,10)", i, e.W)
+		}
+	}
+	// The emitted stream must build a usable graph (multi-edges allowed).
+	if g := MustNew(n, a); g.M() != m {
+		t.Fatalf("built graph has %d edges, want %d", g.M(), m)
+	}
+}
+
+func TestBipartiteStreamSides(t *testing.T) {
+	const nl, nr, m = 40, 60, 2000
+	edges := collectStream(t, func(emit EmitFunc) error {
+		return BipartiteStream(nl, nr, m, 0, 0, rng.New(5), emit)
+	})
+	if len(edges) != m {
+		t.Fatalf("emitted %d edges, want %d", len(edges), m)
+	}
+	for i, e := range edges {
+		if e.U < 0 || int(e.U) >= nl {
+			t.Fatalf("edge %d: left endpoint %d outside [0,%d)", i, e.U, nl)
+		}
+		if int(e.V) < nl || int(e.V) >= nl+nr {
+			t.Fatalf("edge %d: right endpoint %d outside [%d,%d)", i, e.V, nl, nl+nr)
+		}
+		if e.W != 1 {
+			t.Fatalf("edge %d: unweighted stream emitted weight %v", i, e.W)
+		}
+	}
+}
+
+func TestStreamGeneratorsPropagateEmitError(t *testing.T) {
+	sentinel := func(u, v int32, w float64) error { return errSentinel }
+	if err := GnmStream(10, 5, 0, 0, rng.New(1), sentinel); err != errSentinel {
+		t.Errorf("GnmStream: err = %v, want sentinel", err)
+	}
+	if err := BipartiteStream(5, 5, 5, 0, 0, rng.New(1), sentinel); err != errSentinel {
+		t.Errorf("BipartiteStream: err = %v, want sentinel", err)
+	}
+}
+
+var errSentinel = &sentinelError{}
+
+type sentinelError struct{}
+
+func (*sentinelError) Error() string { return "sentinel" }

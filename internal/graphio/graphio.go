@@ -199,12 +199,8 @@ func WriteFile(path string, g *graph.Graph, b graph.Budgets) error {
 }
 
 // ReadFile reads a graph and budgets from path, auto-detecting the text or
-// binary format from the leading bytes.
+// binary format from the leading bytes. BMG1 content is ingested through
+// the streaming two-pass decoder, so the file is never buffered in memory.
 func ReadFile(path string) (*graph.Graph, graph.Budgets, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, nil, err
-	}
-	defer f.Close()
-	return ReadAny(f)
+	return ReadFileLimits(path, Limits{})
 }

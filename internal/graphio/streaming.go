@@ -1,0 +1,363 @@
+// Streaming BMG1 ingest and emission. DecodeBinaryStream reads the binary
+// format in two passes over a ReaderAt — validate + count degrees, then
+// fill the CSR arrays in place — so decoding never materializes the payload
+// or an intermediate edge slice: peak memory beyond the returned graph is
+// one read buffer. BinaryWriter is the emission mirror: header and budgets
+// up front, then one call per edge, so generators can write 10^8-edge
+// instances in O(1) extra memory. Both speak exactly the byte format of
+// AppendBinaryTo/DecodeBinaryLimits.
+package graphio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/graph"
+)
+
+// countingReader is the streaming decoder's byte source: a buffered reader
+// that tracks the absolute offset consumed, for error positions and for
+// locating the edge payload between the two passes.
+type countingReader struct {
+	br  *bufio.Reader
+	off int64
+}
+
+func (c *countingReader) ReadByte() (byte, error) {
+	b, err := c.br.ReadByte()
+	if err == nil {
+		c.off++
+	}
+	return b, err
+}
+
+func (c *countingReader) uvarint(what string) (uint64, error) {
+	x, err := binary.ReadUvarint(c)
+	if err != nil {
+		return 0, fmt.Errorf("graphio: truncated or malformed %s at byte %d", what, c.off)
+	}
+	return x, nil
+}
+
+func (c *countingReader) float64(what string) (float64, error) {
+	var buf [8]byte
+	k, err := io.ReadFull(c.br, buf[:])
+	c.off += int64(k)
+	if err != nil {
+		return 0, fmt.Errorf("graphio: truncated %s at byte %d", what, c.off)
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+}
+
+func (c *countingReader) full(p []byte, what string) error {
+	k, err := io.ReadFull(c.br, p)
+	c.off += int64(k)
+	if err != nil {
+		return fmt.Errorf("graphio: truncated %s at byte %d", what, c.off)
+	}
+	return nil
+}
+
+// streamAt returns a countingReader positioned at off within src.
+func streamAt(src io.ReaderAt, off, size int64) *countingReader {
+	return &countingReader{
+		br:  bufio.NewReaderSize(io.NewSectionReader(src, off, size-off), 1<<20),
+		off: off,
+	}
+}
+
+// DecodeBinaryStream parses the binary format from src without holding the
+// payload in memory: pass one validates the header, budgets, and every edge
+// while counting degrees; the edge slice and CSR index are then allocated
+// at exactly their final sizes and pass two fills them directly. Limits are
+// enforced before any count-sized allocation, same as DecodeBinaryLimits,
+// and the result is identical to it for every valid input.
+func DecodeBinaryStream(src io.ReaderAt, size int64, lim Limits) (*graph.Graph, graph.Budgets, error) {
+	if size < int64(len(BinaryMagic))+1 {
+		return nil, nil, fmt.Errorf("graphio: binary input too short (%d bytes)", size)
+	}
+	r1 := streamAt(src, 0, size)
+	var head [len(BinaryMagic) + 1]byte
+	if err := r1.full(head[:], "header"); err != nil {
+		return nil, nil, err
+	}
+	if string(head[:len(BinaryMagic)]) != BinaryMagic {
+		return nil, nil, fmt.Errorf("graphio: bad magic %q (want %q)", head[:len(BinaryMagic)], BinaryMagic)
+	}
+	flags := head[len(BinaryMagic)]
+	if flags&^flagWeighted != 0 {
+		return nil, nil, fmt.Errorf("graphio: unknown flag bits %#x", flags&^flagWeighted)
+	}
+	weighted := flags&flagWeighted != 0
+
+	n64, err := r1.uvarint("vertex count")
+	if err != nil {
+		return nil, nil, err
+	}
+	if n64 > math.MaxInt32 {
+		return nil, nil, fmt.Errorf("graphio: vertex count %d exceeds int32", n64)
+	}
+	n := int(n64)
+	if err := lim.checkN(n); err != nil {
+		return nil, nil, err
+	}
+	m64, err := r1.uvarint("edge count")
+	if err != nil {
+		return nil, nil, err
+	}
+	if lim.MaxEdges > 0 && m64 > uint64(lim.MaxEdges) {
+		return nil, nil, fmt.Errorf("graphio: edge count %d exceeds limit %d", m64, lim.MaxEdges)
+	}
+	// Same hostile-header guard as the in-memory decoder: each edge costs at
+	// least 2 bytes, so a declared count the remaining payload cannot hold is
+	// malformed — reject it before the m-sized allocations below.
+	minEdge := uint64(2)
+	if weighted {
+		minEdge += 8
+	}
+	if m64 > uint64(size-r1.off)/minEdge+1 {
+		return nil, nil, fmt.Errorf("graphio: edge count %d larger than payload allows", m64)
+	}
+	m := int(m64)
+
+	nb, err := r1.uvarint("budget count")
+	if err != nil {
+		return nil, nil, err
+	}
+	if nb > uint64(size-r1.off)/2+1 {
+		return nil, nil, fmt.Errorf("graphio: budget count %d larger than payload allows", nb)
+	}
+	b := graph.UniformBudgets(n, 1)
+	for i := uint64(0); i < nb; i++ {
+		v, err := r1.uvarint("budget vertex")
+		if err != nil {
+			return nil, nil, err
+		}
+		x, err := r1.uvarint("budget value")
+		if err != nil {
+			return nil, nil, err
+		}
+		if v >= uint64(n) {
+			return nil, nil, fmt.Errorf("graphio: budget for out-of-range vertex %d", v)
+		}
+		if x > math.MaxInt32 {
+			return nil, nil, fmt.Errorf("graphio: budget %d exceeds int32", x)
+		}
+		b[v] = int(x)
+	}
+	edgeOff := r1.off
+
+	// Pass 1 over the edges: validate everything graph.New would and count
+	// degrees, so pass 2 can write the CSR index without re-checking.
+	adjStart := make([]int32, n+1)
+	for i := 0; i < m; i++ {
+		u, v, w, err := readEdge(r1, weighted)
+		if err != nil {
+			return nil, nil, err
+		}
+		if u == v {
+			return nil, nil, fmt.Errorf("graphio: edge %d is a self-loop at vertex %d", i, u)
+		}
+		if uint64(u) >= uint64(n) || uint64(v) >= uint64(n) {
+			return nil, nil, fmt.Errorf("graphio: edge %d = {%d,%d} out of range for n=%d", i, u, v, n)
+		}
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, nil, fmt.Errorf("graphio: edge %d has invalid weight %v", i, w)
+		}
+		adjStart[u+1]++
+		adjStart[v+1]++
+	}
+	if _, err := r1.ReadByte(); err != io.EOF {
+		return nil, nil, fmt.Errorf("graphio: %d trailing bytes after last edge", size-r1.off+1)
+	}
+	for v := 0; v < n; v++ {
+		adjStart[v+1] += adjStart[v]
+	}
+
+	// Pass 2: re-read the edge payload and fill the final arrays in the
+	// canonical serial layout (ascending edge id per vertex).
+	edges := make([]graph.Edge, m)
+	adjEdges := make([]int32, 2*m)
+	fill := make([]int32, n)
+	r2 := streamAt(src, edgeOff, size)
+	for i := 0; i < m; i++ {
+		u, v, w, err := readEdge(r2, weighted)
+		if err != nil {
+			return nil, nil, err // src changed between passes
+		}
+		edges[i] = graph.Edge{U: u, V: v, W: w}
+		adjEdges[adjStart[u]+fill[u]] = int32(i)
+		fill[u]++
+		adjEdges[adjStart[v]+fill[v]] = int32(i)
+		fill[v]++
+	}
+	g, err := graph.NewFromCSR(n, edges, adjStart, adjEdges)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, b, nil
+}
+
+// readEdge decodes one edge record (endpoints, plus the weight when the
+// weighted flag is set; unweighted edges have weight 1).
+func readEdge(r *countingReader, weighted bool) (u, v int32, w float64, err error) {
+	u64, err := r.uvarint("edge endpoint")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	v64, err := r.uvarint("edge endpoint")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if u64 > math.MaxInt32 || v64 > math.MaxInt32 {
+		return 0, 0, 0, fmt.Errorf("graphio: edge endpoint exceeds int32 at byte %d", r.off)
+	}
+	w = 1.0
+	if weighted {
+		w, err = r.float64("edge weight")
+		if err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	return int32(u64), int32(v64), w, nil
+}
+
+// ReadFileLimits reads path with resource bounds, streaming BMG1 content
+// through DecodeBinaryStream (text files fall back to the line parser).
+// This is the ingest path for instances too large to buffer.
+func ReadFileLimits(path string, lim Limits) (*graph.Graph, graph.Budgets, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	var head [len(BinaryMagic)]byte
+	if _, err := io.ReadFull(f, head[:]); err == nil && string(head[:]) == BinaryMagic {
+		st, err := f.Stat()
+		if err != nil {
+			return nil, nil, err
+		}
+		return DecodeBinaryStream(f, st.Size(), lim)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, nil, err
+	}
+	return readLimits(bufio.NewReaderSize(f, 1<<16), lim)
+}
+
+// A BinaryWriter emits the binary format incrementally: NewBinaryWriter
+// writes the header and budgets, each Edge call appends one record, and
+// Close verifies the declared edge count was met. Generators use it to
+// write instances edge by edge — the format declares n, m, and the
+// weighted flag up front, which is the price of never buffering the edges.
+// Its output is byte-identical to AppendBinaryTo for the same instance and
+// flag choice.
+type BinaryWriter struct {
+	bw       *bufio.Writer
+	n        int
+	declared int
+	written  int
+	weighted bool
+	err      error
+}
+
+// NewBinaryWriter starts a binary-format stream for an n-vertex, m-edge
+// instance with budgets b (nil for all-1). weighted declares whether edge
+// records carry weights; an unweighted stream rejects Edge calls with
+// weight ≠ 1.
+func NewBinaryWriter(w io.Writer, n, m int, b graph.Budgets, weighted bool) (*BinaryWriter, error) {
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("graphio: negative instance size n=%d m=%d", n, m)
+	}
+	if len(b) > n {
+		return nil, fmt.Errorf("graphio: budget vector has %d entries for n=%d", len(b), n)
+	}
+	bw := &BinaryWriter{bw: bufio.NewWriterSize(w, 1<<20), n: n, declared: m, weighted: weighted}
+	var flags byte
+	if weighted {
+		flags |= flagWeighted
+	}
+	bw.bw.WriteString(BinaryMagic)
+	bw.bw.WriteByte(flags)
+	bw.uvarint(uint64(n))
+	bw.uvarint(uint64(m))
+	var nb int
+	for _, x := range b {
+		if x != 1 {
+			nb++
+		}
+	}
+	bw.uvarint(uint64(nb))
+	for v, x := range b {
+		if x != 1 {
+			if x < 0 {
+				return nil, fmt.Errorf("graphio: negative budget %d for vertex %d", x, v)
+			}
+			bw.uvarint(uint64(v))
+			bw.uvarint(uint64(x))
+		}
+	}
+	if err := bw.bw.Flush(); err != nil {
+		return nil, err
+	}
+	return bw, nil
+}
+
+func (w *BinaryWriter) uvarint(x uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	w.bw.Write(buf[:binary.PutUvarint(buf[:], x)])
+}
+
+// Edge appends one edge record. Validation matches graph.New, so every
+// stream this writer completes decodes successfully.
+func (w *BinaryWriter) Edge(u, v int32, wt float64) error {
+	if w.err != nil {
+		return w.err
+	}
+	switch {
+	case w.written >= w.declared:
+		w.err = fmt.Errorf("graphio: edge %d exceeds the declared count %d", w.written, w.declared)
+	case u == v:
+		w.err = fmt.Errorf("graphio: edge %d is a self-loop at vertex %d", w.written, u)
+	case uint64(u) >= uint64(w.n) || uint64(v) >= uint64(w.n):
+		w.err = fmt.Errorf("graphio: edge %d = {%d,%d} out of range for n=%d", w.written, u, v, w.n)
+	case wt < 0 || math.IsNaN(wt) || math.IsInf(wt, 0):
+		w.err = fmt.Errorf("graphio: edge %d has invalid weight %v", w.written, wt)
+	case !w.weighted && wt != 1:
+		w.err = fmt.Errorf("graphio: edge %d has weight %v in an unweighted stream", w.written, wt)
+	}
+	if w.err != nil {
+		return w.err
+	}
+	w.uvarint(uint64(u))
+	w.uvarint(uint64(v))
+	if w.weighted {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(wt))
+		w.bw.Write(buf[:])
+	}
+	w.written++
+	return nil
+}
+
+// Close flushes the stream and fails if the edge count does not match the
+// declared m. It does not close the underlying writer.
+func (w *BinaryWriter) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.written != w.declared {
+		w.err = fmt.Errorf("graphio: stream closed after %d of %d declared edges", w.written, w.declared)
+		return w.err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.err = err
+		return err
+	}
+	w.err = fmt.Errorf("graphio: writer already closed") // arms later calls
+	return nil
+}

@@ -39,6 +39,10 @@ type Config struct {
 	// JobTTL is how long a finished v2 job's status and result stay
 	// retrievable (default 15 minutes).
 	JobTTL time.Duration
+	// DefaultValueMode is the value mode applied when a request carries no
+	// values= parameter ("" keeps f64). A request's explicit values= always
+	// wins; bmatchd sets this from its -values flag.
+	DefaultValueMode string
 }
 
 func (c Config) withDefaults() Config {
@@ -56,7 +60,7 @@ func (c Config) withDefaults() Config {
 
 // Server is the bmatchd HTTP surface:
 //
-//	POST /v1/solve?algo=approx|max|maxw|greedy|frac&eps=&seed=&paper=&nocache=&workers=&timeout_ms=
+//	POST /v1/solve?algo=approx|max|maxw|greedy|frac&eps=&seed=&paper=&nocache=&workers=&values=&timeout_ms=
 //	     body: instance in graphio text or binary format (sniffed)
 //	     response: JSON result; the matched-edge (or x) array is streamed
 //	POST   /v2/jobs?algo=...          async submit → 202 + job status
@@ -254,6 +258,13 @@ func (s *Server) specFromQuery(r *http.Request) (engine.Spec, time.Duration, err
 			return spec, 0, fmt.Errorf("httpapi: bad paper %q", p)
 		}
 		spec.PaperConstants = v
+	}
+	// Value mode rides through as a string; Spec.Validate rejects unknown
+	// spellings and f32 with a non-frac algo, exactly like the facade. An
+	// absent parameter falls back to the daemon's configured default.
+	spec.ValueMode = s.cfg.DefaultValueMode
+	if _, ok := q["values"]; ok {
+		spec.ValueMode = q.Get("values")
 	}
 	if nc := q.Get("nocache"); nc != "" {
 		v, err := strconv.ParseBool(nc)

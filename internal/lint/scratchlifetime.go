@@ -12,6 +12,7 @@ const scratchPath = "repro/internal/scratch"
 // Their results are valid only until the arena's next Release/Reset.
 var grabMethods = map[string]bool{
 	"F64": true, "F64Raw": true,
+	"F32": true, "F32Raw": true,
 	"I32": true, "I32Raw": true,
 	"I64": true, "I64Raw": true,
 	"Bool": true, "BoolRaw": true,

@@ -136,6 +136,41 @@ func returnsSubslice(n int) []float64 {
 	return xs[:n/2] // want "escapes the Borrow/Release window"
 }
 
+// f32GoodDefer exercises the float32 slab under the canonical form.
+func f32GoodDefer(n int) float32 {
+	ar, done := scratch.Borrow(nil)
+	defer done()
+	xs := ar.F32(n)
+	var s float32
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// f32ReturnsGrab hands out float32 slab memory past its release.
+func f32ReturnsGrab(n int) []float32 {
+	ar, done := scratch.Borrow(nil)
+	defer done()
+	return ar.F32Raw(n) // want "escapes the Borrow/Release window"
+}
+
+// f32ReturnsGrabVar does the same through a variable.
+func f32ReturnsGrabVar(n int) []float32 {
+	ar, done := scratch.Borrow(nil)
+	defer done()
+	xs := ar.F32(n)
+	return xs // want "escapes the Borrow/Release window"
+}
+
+// f32ReturnsClosure leaks the window through a captured f32 slice.
+func f32ReturnsClosure(n int) func() float32 {
+	ar, done := scratch.Borrow(nil)
+	defer done()
+	xs := ar.F32(n)
+	return func() float32 { return xs[0] } // want "closure captures window-owned arena memory"
+}
+
 // helperWithParamArena may return grabbed memory: its caller owns the
 // window, so the release runs after the caller is done with the slice.
 func helperWithParamArena(ar *scratch.Arena, n int) []float64 {

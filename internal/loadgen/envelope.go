@@ -1,0 +1,119 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+)
+
+// Envelope shape names accepted by Spec.RateEnvelope.
+const (
+	EnvelopeConstant = "constant"
+	EnvelopeSin      = "sin"
+	EnvelopeSquare   = "square"
+)
+
+// envelope is a time-varying arrival intensity λ(t) with mean Spec.Rate
+// over each period. Schedules are built by the time-warp construction: the
+// unit-rate exponential draws accumulate into a cumulative mass S, and the
+// i-th arrival lands at Λ⁻¹(S_i) where Λ(t) = ∫₀ᵗ λ(s)ds. Reshaping time
+// this way leaves every non-arrival draw (mix, corpus, seed, faults) in
+// the exact stream position the constant schedule uses.
+type envelope struct {
+	shape  string
+	rate   float64 // mean rate, req/s
+	period float64 // seconds, > 0
+	depth  float64 // relative modulation in (0,1)
+}
+
+// envelopeShape canonicalizes a Spec.RateEnvelope value. "" and
+// "constant" mean the homogeneous process; "sinusoidal" is accepted as a
+// long spelling of "sin".
+func envelopeShape(name string) (string, error) {
+	switch name {
+	case "", EnvelopeConstant:
+		return EnvelopeConstant, nil
+	case EnvelopeSin, "sinusoidal":
+		return EnvelopeSin, nil
+	case EnvelopeSquare:
+		return EnvelopeSquare, nil
+	}
+	return "", fmt.Errorf("loadgen: unknown rate envelope %q (want constant, sin, or square)", name)
+}
+
+// newEnvelope resolves the Spec's envelope, applying the period and depth
+// defaults. Returns nil for the constant shape: BuildSchedule keeps the
+// plain homogeneous-Poisson arithmetic (bit-identical to every schedule
+// built before envelopes existed) on that path.
+func newEnvelope(s Spec) *envelope {
+	shape, err := envelopeShape(s.RateEnvelope)
+	if err != nil || shape == EnvelopeConstant {
+		return nil
+	}
+	period := s.EnvelopePeriod.Seconds()
+	if period <= 0 {
+		period = 10
+	}
+	depth := s.EnvelopeDepth
+	if depth <= 0 {
+		depth = 0.5
+	}
+	return &envelope{shape: shape, rate: s.Rate, period: period, depth: depth}
+}
+
+// intensityMass is Λ(t), the expected arrivals in [0, t]. Both shapes
+// average to rate over a period, so long-run offered load matches the
+// constant schedule.
+func (e *envelope) intensityMass(t float64) float64 {
+	switch e.shape {
+	case EnvelopeSin:
+		// λ(t) = rate·(1 + depth·sin(2πt/P))
+		w := 2 * math.Pi / e.period
+		return e.rate * (t + e.depth/w*(1-math.Cos(w*t)))
+	case EnvelopeSquare:
+		// λ(t) = rate·(1+depth) on the first half-period, rate·(1−depth)
+		// on the second.
+		k := math.Floor(t / e.period)
+		rem := t - k*e.period
+		mass := k * e.rate * e.period
+		half := e.period / 2
+		if rem <= half {
+			return mass + e.rate*(1+e.depth)*rem
+		}
+		return mass + e.rate*(1+e.depth)*half + e.rate*(1-e.depth)*(rem-half)
+	}
+	panic("loadgen: envelope shape " + e.shape)
+}
+
+// invert is Λ⁻¹: the arrival time at which cumulative mass reaches s.
+// The square wave inverts in closed form; the sinusoid by bisection with
+// a fixed iteration count, which converges to ulp precision and — unlike
+// tolerance-based stopping — is trivially deterministic across hosts.
+func (e *envelope) invert(s float64) float64 {
+	if e.shape == EnvelopeSquare {
+		perPeriod := e.rate * e.period
+		k := math.Floor(s / perPeriod)
+		rem := s - k*perPeriod
+		hi := e.rate * (1 + e.depth)
+		lo := e.rate * (1 - e.depth)
+		half := e.period / 2
+		t := k * e.period
+		if hiMass := hi * half; rem <= hiMass {
+			return t + rem/hi
+		} else {
+			return t + half + (rem-hiMass)/lo
+		}
+	}
+	// λ ∈ [rate·(1−depth), rate·(1+depth)] brackets Λ⁻¹(s) between the
+	// constant-rate extremes; depth < 1 keeps both finite.
+	lo := s / (e.rate * (1 + e.depth))
+	hi := s / (e.rate * (1 - e.depth))
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if e.intensityMass(mid) < s {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,212 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestEnvelopeConstantAliasesDefault: an explicit "constant" envelope must
+// be byte-identical to the empty default — envelopes never perturb the
+// schedules committed baselines were built with.
+func TestEnvelopeConstantAliasesDefault(t *testing.T) {
+	spec := testSpec()
+	plain, err := BuildSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.RateEnvelope = EnvelopeConstant
+	explicit, err := BuildSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, explicit) {
+		t.Fatal(`RateEnvelope "constant" differs from the "" default`)
+	}
+}
+
+// TestEnvelopeReshapesTimeOnly is the draw-order contract: an envelope may
+// move arrival times, but every other field of every shot — mix pick,
+// corpus pick, request seed, injected faults — must match the constant
+// schedule exactly, because those draws sit in unchanged stream positions.
+func TestEnvelopeReshapesTimeOnly(t *testing.T) {
+	base := testSpec()
+	constant, err := BuildSchedule(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shape := range []string{EnvelopeSin, "sinusoidal", EnvelopeSquare} {
+		spec := base
+		spec.RateEnvelope = shape
+		spec.EnvelopePeriod = time.Second
+		spec.EnvelopeDepth = 0.8
+		shaped, err := BuildSchedule(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := false
+		for i := range shaped {
+			got, want := shaped[i], constant[i]
+			if got.At != want.At {
+				moved = true
+			}
+			got.At, want.At = 0, 0
+			if got != want {
+				t.Fatalf("%s: shot %d differs beyond arrival time: %+v vs %+v", shape, i, shaped[i], constant[i])
+			}
+			if i > 0 && shaped[i].At < shaped[i-1].At {
+				t.Fatalf("%s: shot %d arrives before its predecessor", shape, i)
+			}
+		}
+		if !moved {
+			t.Fatalf("%s: envelope left every arrival time unchanged", shape)
+		}
+		// Same spec, same shaped schedule.
+		again, err := BuildSchedule(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(shaped, again) {
+			t.Fatalf("%s: same spec produced different schedules", shape)
+		}
+	}
+}
+
+// TestEnvelopePreservesMeanRate: both shapes integrate to Rate per period,
+// so the offered duration must stay within the same ±15% band the constant
+// schedule is held to.
+func TestEnvelopePreservesMeanRate(t *testing.T) {
+	for _, shape := range []string{EnvelopeSin, EnvelopeSquare} {
+		spec := testSpec()
+		spec.RateEnvelope = shape
+		spec.EnvelopePeriod = 500 * time.Millisecond
+		spec.EnvelopeDepth = 0.9
+		shots, err := BuildSchedule(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSec := float64(spec.Requests) / spec.Rate
+		gotSec := shots[len(shots)-1].At.Seconds()
+		if gotSec < wantSec*0.85 || gotSec > wantSec*1.15 {
+			t.Fatalf("%s: offered duration %.2fs, want ≈ %.2fs", shape, gotSec, wantSec)
+		}
+	}
+}
+
+// TestEnvelopeSquareDensity: under a square wave, arrivals inside the
+// high half-periods must outnumber the low halves by about the intensity
+// ratio (1+d)/(1−d).
+func TestEnvelopeSquareDensity(t *testing.T) {
+	spec := testSpec()
+	spec.RateEnvelope = EnvelopeSquare
+	spec.EnvelopePeriod = time.Second
+	spec.EnvelopeDepth = 0.6
+	shots, err := BuildSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hi, lo int
+	for _, s := range shots {
+		phase := math.Mod(s.At.Seconds(), spec.EnvelopePeriod.Seconds())
+		if phase < spec.EnvelopePeriod.Seconds()/2 {
+			hi++
+		} else {
+			lo++
+		}
+	}
+	ratio := float64(hi) / float64(lo)
+	want := (1 + spec.EnvelopeDepth) / (1 - spec.EnvelopeDepth) // = 4
+	if ratio < want*0.8 || ratio > want*1.2 {
+		t.Fatalf("high/low arrival ratio %.2f, want ≈ %.1f", ratio, want)
+	}
+}
+
+// TestEnvelopeSinDensity: the sinusoid's rising half-period (where
+// sin > 0) must carry more arrivals than the falling half.
+func TestEnvelopeSinDensity(t *testing.T) {
+	spec := testSpec()
+	spec.RateEnvelope = EnvelopeSin
+	spec.EnvelopePeriod = time.Second
+	spec.EnvelopeDepth = 0.9
+	shots, err := BuildSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var up, down int
+	for _, s := range shots {
+		phase := math.Mod(s.At.Seconds(), spec.EnvelopePeriod.Seconds())
+		if phase < spec.EnvelopePeriod.Seconds()/2 {
+			up++
+		} else {
+			down++
+		}
+	}
+	if up <= down {
+		t.Fatalf("positive half-period drew %d arrivals vs %d — sinusoid not modulating", up, down)
+	}
+}
+
+// TestEnvelopeValidation pins the spec boundary: unknown shapes and
+// out-of-range depth/period are rejected.
+func TestEnvelopeValidation(t *testing.T) {
+	for _, mutate := range []func(*Spec){
+		func(s *Spec) { s.RateEnvelope = "sawtooth" },
+		func(s *Spec) { s.EnvelopeDepth = 1 },
+		func(s *Spec) { s.EnvelopeDepth = -0.1 },
+		func(s *Spec) { s.EnvelopeDepth = math.NaN() },
+		func(s *Spec) { s.EnvelopePeriod = -time.Second },
+	} {
+		spec := testSpec()
+		mutate(&spec)
+		if err := spec.Validate(); err == nil {
+			t.Errorf("spec %+v validated", spec)
+		}
+	}
+	spec := testSpec()
+	spec.RateEnvelope = EnvelopeSquare
+	if err := spec.Validate(); err != nil {
+		t.Errorf("square envelope with default period/depth rejected: %v", err)
+	}
+}
+
+// TestBaselineDefaultsToConstant: a committed baseline that predates
+// envelopes (no rateEnvelope key) must load as the constant shape and
+// build the schedule it always built.
+func TestBaselineDefaultsToConstant(t *testing.T) {
+	spec := testSpec()
+	b := Baseline{
+		Label:    "pre-envelope",
+		Corpus:   []FamilySpec{{Family: "gnm", Count: spec.CorpusSize, N: 50, M: 100}},
+		Workload: spec,
+	}
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Workload.RateEnvelope != "" {
+		t.Fatalf("loaded envelope %q, want empty (constant)", loaded.Workload.RateEnvelope)
+	}
+	want, err := BuildSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := BuildSchedule(loaded.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("baseline round-trip changed the schedule")
+	}
+}

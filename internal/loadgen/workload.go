@@ -53,6 +53,20 @@ type Spec struct {
 	// Poisson process of this intensity (exponential inter-arrival gaps),
 	// the standard open-loop model of independent users.
 	Rate float64 `json:"rate"`
+	// RateEnvelope shapes the arrival intensity over time while Rate stays
+	// the per-period mean: "" or "constant" is the homogeneous process,
+	// "sin" (or "sinusoidal") modulates λ(t) = Rate·(1+d·sin(2πt/P)), and
+	// "square" alternates Rate·(1±d) half-periods — diurnal-style swell
+	// and step-burst load in miniature. Envelopes reshape arrival times
+	// only: the mix, corpus, seed, and fault draws for shot i are
+	// identical to the constant schedule's.
+	RateEnvelope string `json:"rateEnvelope,omitempty"`
+	// EnvelopePeriod is the envelope period P (default 10s).
+	EnvelopePeriod time.Duration `json:"envelopePeriodNs,omitempty"`
+	// EnvelopeDepth is the relative modulation depth d ∈ (0,1); 0 defaults
+	// to 0.5. Depth 1 would let the instantaneous rate reach zero, so it
+	// is excluded.
+	EnvelopeDepth float64 `json:"envelopeDepth,omitempty"`
 	// CorpusSize is the number of instances in the corpus the schedule
 	// indexes into (Shot.Corpus ∈ [0, CorpusSize)).
 	CorpusSize int `json:"corpusSize"`
@@ -99,6 +113,15 @@ func (s Spec) Validate() error {
 	}
 	if s.SeedStreams < 0 {
 		return fmt.Errorf("loadgen: SeedStreams = %d, need ≥ 0", s.SeedStreams)
+	}
+	if _, err := envelopeShape(s.RateEnvelope); err != nil {
+		return err
+	}
+	if s.EnvelopeDepth < 0 || s.EnvelopeDepth >= 1 || math.IsNaN(s.EnvelopeDepth) {
+		return fmt.Errorf("loadgen: EnvelopeDepth = %v outside [0,1)", s.EnvelopeDepth)
+	}
+	if s.EnvelopePeriod < 0 {
+		return fmt.Errorf("loadgen: EnvelopePeriod = %v, need ≥ 0", s.EnvelopePeriod)
 	}
 	for i, p := range []float64{s.CancelProb, s.TimeoutProb} {
 		if p < 0 || p > 1 || math.IsNaN(p) {
@@ -182,13 +205,25 @@ func BuildSchedule(spec Spec) ([]Shot, error) {
 	}
 	pop := newZipf(spec.CorpusSize, spec.ZipfS)
 
+	env := newEnvelope(spec)
+
 	r := rng.New(spec.Seed)
 	shots := make([]Shot, spec.Requests)
 	at := time.Duration(0)
+	unitMass := 0.0
 	for i := range shots {
-		// Poisson arrivals: exponential gaps with mean 1/Rate.
-		gap := -math.Log(1-r.Float64()) / spec.Rate
-		at += time.Duration(gap * float64(time.Second))
+		// Poisson arrivals: a unit-rate exponential per shot. The constant
+		// path divides it by Rate directly (the arithmetic every committed
+		// schedule was built with); an envelope accumulates unit mass and
+		// time-warps it through Λ⁻¹, which reshapes arrival times without
+		// moving any later draw in the stream.
+		e := -math.Log(1 - r.Float64())
+		if env == nil {
+			at += time.Duration(e / spec.Rate * float64(time.Second))
+		} else {
+			unitMass += e
+			at = time.Duration(env.invert(unitMass) * float64(time.Second))
+		}
 
 		mi := sort.SearchFloat64s(mixCum, r.Uniform(0, acc))
 		if mi == len(mix) {

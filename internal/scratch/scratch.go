@@ -22,7 +22,7 @@
 //     deferred release runs on every path, including ctx-cancelled returns,
 //     so a cancelled solve leaves its arena clean and reusable.
 //
-// The zeroed variants (F64, I32, I64, Bool) return cleared memory and are
+// The zeroed variants (F64, F32, I32, I64, Bool) return cleared memory and are
 // the safe default; the Raw variants skip the clear and require every slot
 // to be written before it is read. Determinism note: arena reuse never leaks
 // state between borrows that follow these rules, which is what keeps solver
@@ -113,16 +113,17 @@ func (s *slab[T]) retained() int {
 
 type slabMark struct{ page, off int }
 
-// Mark is a checkpoint of an arena's four typed slabs. Marks nest LIFO:
+// Mark is a checkpoint of an arena's five typed slabs. Marks nest LIFO:
 // release in reverse order of Mark().
 type Mark struct {
-	f64, i32, i64, b slabMark
+	f64, f32, i32, i64, b slabMark
 }
 
 // Arena is a typed scratch arena. The zero value is ready to use. An Arena
 // is not safe for concurrent use; see the package comment for ownership.
 type Arena struct {
 	f64 slab[float64]
+	f32 slab[float32]
 	i32 slab[int32]
 	i64 slab[int64]
 	b   slab[bool]
@@ -131,13 +132,14 @@ type Arena struct {
 // Mark checkpoints the arena. Everything grabbed after the mark is
 // reclaimed, in O(1), by Release(mark).
 func (a *Arena) Mark() Mark {
-	return Mark{f64: a.f64.mark(), i32: a.i32.mark(), i64: a.i64.mark(), b: a.b.mark()}
+	return Mark{f64: a.f64.mark(), f32: a.f32.mark(), i32: a.i32.mark(), i64: a.i64.mark(), b: a.b.mark()}
 }
 
 // Release rewinds the arena to m. Borrows taken after m become invalid and
 // their memory is reused by subsequent grabs.
 func (a *Arena) Release(m Mark) {
 	a.f64.release(m.f64)
+	a.f32.release(m.f32)
 	a.i32.release(m.i32)
 	a.i64.release(m.i64)
 	a.b.release(m.b)
@@ -146,6 +148,7 @@ func (a *Arena) Release(m Mark) {
 // Reset releases every borrow. Capacity is retained.
 func (a *Arena) Reset() {
 	a.f64.reset()
+	a.f32.reset()
 	a.i32.reset()
 	a.i64.reset()
 	a.b.reset()
@@ -161,6 +164,18 @@ func (a *Arena) F64(n int) []float64 {
 // F64Raw borrows n uninitialized float64s. Every slot must be written
 // before it is read.
 func (a *Arena) F64Raw(n int) []float64 { return a.f64.grab(n) }
+
+// F32 borrows n zeroed float32s (the opt-in value-mode slab: half the
+// traffic of F64 for the solver's m-sized hot vectors).
+func (a *Arena) F32(n int) []float32 {
+	out := a.f32.grab(n)
+	clear(out)
+	return out
+}
+
+// F32Raw borrows n uninitialized float32s. Every slot must be written
+// before it is read.
+func (a *Arena) F32Raw(n int) []float32 { return a.f32.grab(n) }
 
 // I32 borrows n zeroed int32s.
 func (a *Arena) I32(n int) []int32 {
@@ -199,6 +214,7 @@ func (a *Arena) BoolRaw(n int) []bool { return a.b.grab(n) }
 // not pin its peak footprint in every worker for the process lifetime.
 func (a *Arena) Oversized() bool {
 	return a.f64.retained() > maxRetainedEntries ||
+		a.f32.retained() > maxRetainedEntries ||
 		a.i32.retained() > maxRetainedEntries ||
 		a.i64.retained() > maxRetainedEntries ||
 		a.b.retained() > maxRetainedEntries

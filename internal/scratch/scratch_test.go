@@ -168,3 +168,35 @@ func TestAllocFreeSteadyState(t *testing.T) {
 		t.Fatalf("warmed arena allocates: %v allocs/op", avg)
 	}
 }
+
+func TestF32SlabMarkReleaseAndRetention(t *testing.T) {
+	var a Arena
+	m := a.Mark()
+	x := a.F32(128)
+	for _, v := range x {
+		if v != 0 {
+			t.Fatal("F32 returned dirty memory")
+		}
+	}
+	x[0] = 1.5
+	a.Release(m)
+	y := a.F32Raw(128)
+	if &x[0] != &y[0] {
+		t.Fatal("release did not rewind the f32 slab")
+	}
+	a.Release(m)
+	z := a.F32(128)
+	if z[0] != 0 {
+		t.Fatalf("F32 returned dirty recycled memory: %v", z[0])
+	}
+	// The f32 slab participates in the retention cap like the other four.
+	var big Arena
+	big.F32Raw(maxRetainedEntries + 1)
+	if !big.Oversized() {
+		t.Fatal("f32 growth past the cap not reported by Oversized")
+	}
+	big.Reset()
+	if big.f32.page != 0 || big.f32.off != 0 {
+		t.Fatal("Reset did not rewind the f32 slab")
+	}
+}

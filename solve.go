@@ -65,6 +65,14 @@ type Request struct {
 	// (neither served from it nor stored into it). One-shot Solve calls
 	// never touch a cache, so it is a no-op there.
 	NoCache bool
+	// ValueMode selects the fractional solver's value precision: "" or
+	// "f64" (the default) runs the float64 kernels, "f32" opts AlgoFrac
+	// into the float32 value-mode kernels (halved hot-vector memory
+	// traffic; relative objective error bounded per README "Value modes").
+	// f32 results are deterministic across worker counts and MPC
+	// transports but are cached separately from f64 results. Rejected for
+	// every algorithm other than AlgoFrac.
+	ValueMode string
 	// MPCTransport selects the MPC simulator's delivery backend for the
 	// fractional compression supersteps (the simulator core of AlgoApprox
 	// and AlgoFrac). Nil is the in-process pipeline; a non-nil factory
@@ -106,6 +114,7 @@ func (r Request) spec() (engine.Spec, error) {
 		Workers:        r.Workers,
 		PaperConstants: r.PaperConstants,
 		NoCache:        r.NoCache,
+		ValueMode:      r.ValueMode,
 		MPCTransport:   r.MPCTransport,
 	}
 	if err := spec.Validate(); err != nil {
